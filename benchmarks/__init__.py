@@ -1,0 +1,1 @@
+"""Benchmark suite: one module per figure/table of the paper's evaluation."""

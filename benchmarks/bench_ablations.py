@@ -1,0 +1,114 @@
+"""Ablation benchmarks beyond the paper's figures (DESIGN.md E7-E9).
+
+* E7 -- MobiJoin's repartitioning fan-out ``k`` (Section 3.2 discussion:
+  larger ``k`` does not fix the heuristic and inflates aggregate overhead).
+* E8 -- bucket vs per-object NLSJ probing (Section 3.1 / Section 5.2
+  footnote: bucket submission lowers the totals, same trend otherwise).
+* E9 -- the adversarial layouts of Figures 2 and 4.
+* E10 -- asymmetric tariffs (extension; the paper fixes b_R = b_S).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.experiments.adversarial import (
+    figure2a_layout,
+    figure2b_layout,
+    figure4_layout,
+    run_adversarial_case,
+)
+from repro.experiments.figures import ablation_bucket, ablation_fanout, ablation_tariffs
+from repro.experiments.harness import run_experiment
+from repro.experiments.report import format_table, render_experiment, render_shape_checks
+
+from benchmarks.conftest import execute_figure
+
+
+def test_ablation_mobijoin_fanout(benchmark):
+    """E7: larger grid fan-out does not rescue MobiJoin."""
+    config = ablation_fanout(seeds=(0,))
+    result = execute_figure(benchmark, config)
+    k2 = result.series["mobiJoin k=2"].mean_bytes
+    k8 = result.series["mobiJoin k=8"].mean_bytes
+    checks = {
+        "k=8 pays more aggregate overhead than k=2 on uniform data":
+            k8[-1] >= k2[-1] * 0.95,
+    }
+    print(render_shape_checks(checks))
+
+
+def test_ablation_bucket_queries(benchmark):
+    """E8: bucket query submission lowers the byte totals."""
+    config = ablation_bucket(railway_size=3000, seeds=(0,))
+    result = execute_figure(benchmark, config)
+    checks = {}
+    for algo in ("upJoin", "srJoin"):
+        bucket = result.series[f"{algo} (bucket)"].mean_bytes
+        plain = result.series[f"{algo} (per-object)"].mean_bytes
+        checks[f"{algo}: bucket never costs more than per-object probing"] = all(
+            b <= p * 1.02 + 200 for b, p in zip(bucket, plain)
+        )
+    print(render_shape_checks(checks))
+
+
+def test_ablation_adversarial_layouts(benchmark):
+    """E9: the drawn examples of Figures 2 and 4."""
+
+    def run_all():
+        out = {}
+        out["fig2a"] = run_adversarial_case(
+            figure2a_layout(), algorithms=("mobijoin", "upjoin", "srjoin"), buffer_size=800
+        )
+        out["fig2b_small"] = run_adversarial_case(
+            figure2b_layout(points_per_cluster=250), algorithms=("mobijoin",), buffer_size=450
+        )
+        out["fig2b_large"] = run_adversarial_case(
+            figure2b_layout(points_per_cluster=250), algorithms=("mobijoin",), buffer_size=1100
+        )
+        out["fig4"] = run_adversarial_case(
+            figure4_layout(), algorithms=("upjoin", "srjoin"), buffer_size=1500
+        )
+        return out
+
+    results = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    rows = []
+    for case, algos in results.items():
+        for name, res in algos.items():
+            rows.append([case, name, res.total_bytes,
+                         res.operator_counts["count_queries"], res.num_pairs])
+    print()
+    print(format_table(["case", "algorithm", "bytes", "counts", "pairs"], rows,
+                       title="adversarial layouts (Figures 2 and 4)"))
+    checks = {
+        "Figure 2(b): a larger buffer does not reduce MobiJoin's cost":
+            results["fig2b_large"]["mobijoin"].total_bytes
+            >= results["fig2b_small"]["mobijoin"].total_bytes,
+        "Figure 4: SrJoin issues no more aggregate queries than UpJoin":
+            results["fig4"]["srjoin"].operator_counts["count_queries"]
+            <= results["fig4"]["upjoin"].operator_counts["count_queries"],
+        "Figure 2(a): every algorithm returns the (empty) exact answer": all(
+            res.num_pairs == 0 for res in results["fig2a"].values()
+        ),
+    }
+    print(render_shape_checks(checks))
+
+
+def test_ablation_asymmetric_tariffs(benchmark):
+    """E10 (extension): making server S pricier shifts cost towards R."""
+
+    def run_all():
+        out = {}
+        for ratio, config in ablation_tariffs(
+            tariff_ratios=(1.0, 5.0), cluster_counts=(8,), seeds=(0,)
+        ).items():
+            out[ratio] = run_experiment(config)
+        return out
+
+    results = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    rows = []
+    for ratio, experiment in sorted(results.items()):
+        for label, series in experiment.series.items():
+            rows.append([f"b_S = {ratio:g} b_R", label, round(series.mean_bytes[0])])
+    print()
+    print(format_table(["tariffs", "algorithm", "bytes"], rows, title="asymmetric tariffs"))

@@ -1,0 +1,33 @@
+"""Figure 6(a): sensitivity of UpJoin to the uniformity tolerance ``alpha``.
+
+Paper claim: ``alpha = 0.15`` over-partitions (highest cost on uniform
+data), very large ``alpha`` fails to identify empty areas; ``alpha = 0.25``
+is the sweet spot used for the remaining experiments.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure_6a
+from repro.experiments.harness import ExperimentResult
+
+from benchmarks.conftest import FAST_SEEDS, execute_figure
+
+
+def _shape_checks(result: ExperimentResult) -> dict:
+    xs = result.config.x_values
+    uniform_idx = xs.index(128)
+    skewed_idx = xs.index(1)
+    strict = result.series["alpha=0.15"].mean_bytes
+    chosen = result.series["alpha=0.25"].mean_bytes
+    return {
+        "alpha=0.15 is not cheaper than alpha=0.25 on uniform data (over-partitioning)":
+            strict[uniform_idx] >= chosen[uniform_idx] * 0.95,
+        "costs grow from the most skewed to the uniform setting (alpha=0.25)":
+            chosen[skewed_idx] < chosen[uniform_idx],
+    }
+
+
+def test_figure_6a_alpha_sensitivity(benchmark, full_figures):
+    seeds = (0, 1, 2) if full_figures else FAST_SEEDS
+    config = figure_6a(seeds=seeds)
+    execute_figure(benchmark, config, _shape_checks)

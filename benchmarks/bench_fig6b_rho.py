@@ -1,0 +1,33 @@
+"""Figure 6(b): sensitivity of SrJoin to the density threshold ``rho``.
+
+Paper claim: ``rho = 100%`` of the average density over-partitions uniform
+datasets (k = 128); ``rho = 30%`` fits uniform data well and is used for the
+remaining experiments.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure_6b
+from repro.experiments.harness import ExperimentResult
+
+from benchmarks.conftest import FAST_SEEDS, execute_figure
+
+
+def _shape_checks(result: ExperimentResult) -> dict:
+    xs = result.config.x_values
+    uniform_idx = xs.index(128)
+    skewed_idx = xs.index(1)
+    rho_100 = result.series["rho=100%"].mean_bytes
+    rho_30 = result.series["rho=30%"].mean_bytes
+    return {
+        "rho=100% is not cheaper than rho=30% on uniform data":
+            rho_100[uniform_idx] >= rho_30[uniform_idx] * 0.95,
+        "costs grow from the most skewed to the uniform setting (rho=30%)":
+            rho_30[skewed_idx] < rho_30[uniform_idx],
+    }
+
+
+def test_figure_6b_rho_sensitivity(benchmark, full_figures):
+    seeds = (0, 1, 2) if full_figures else FAST_SEEDS
+    config = figure_6b(seeds=seeds)
+    execute_figure(benchmark, config, _shape_checks)

@@ -1,0 +1,38 @@
+"""Figure 7(a): MobiJoin vs UpJoin vs SrJoin with a 100-point device buffer.
+
+Paper claims: all three algorithms perform similarly for skewed datasets
+(small cluster counts); for the uniform setting (k = 128) UpJoin
+deteriorates because it keeps partitioning data that cannot be pruned.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure_7a
+from repro.experiments.harness import ExperimentResult
+
+from benchmarks.conftest import FAST_SEEDS, execute_figure
+
+
+def _shape_checks(result: ExperimentResult) -> dict:
+    xs = result.config.x_values
+    mobi = result.series["mobiJoin"].mean_bytes
+    up = result.series["upJoin"].mean_bytes
+    sr = result.series["srJoin"].mean_bytes
+    skew_idx = [xs.index(1), xs.index(2)]
+    uniform_idx = xs.index(128)
+    return {
+        "similar performance for highly skewed data (within 2x of MobiJoin)": all(
+            up[i] <= 2 * mobi[i] + 1000 and sr[i] <= 2 * mobi[i] + 1000 for i in skew_idx
+        ),
+        "UpJoin is the most expensive algorithm on uniform data (k=128)":
+            up[uniform_idx] >= max(mobi[uniform_idx], sr[uniform_idx]) * 0.98,
+        "costs increase from skewed to uniform data for every algorithm": all(
+            series[xs.index(1)] < series[uniform_idx] for series in (mobi, up, sr)
+        ),
+    }
+
+
+def test_figure_7a_small_buffer(benchmark, full_figures):
+    seeds = (0, 1, 2) if full_figures else FAST_SEEDS
+    config = figure_7a(seeds=seeds)
+    execute_figure(benchmark, config, _shape_checks)

@@ -1,0 +1,38 @@
+"""Figure 8(a): real-like (railway) data joined with a small synthetic dataset.
+
+The paper joins the ~35 K-segment German railway dataset with a 1 000-point
+synthetic dataset using the bucket variants of the algorithms.  Claim:
+MobiJoin's heuristic "performs poorly for real-life datasets, since it
+chooses to execute NLSJ most of the time"; UpJoin and SrJoin easily
+outperform it, especially for skewed synthetic sides.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure_8a
+from repro.experiments.harness import ExperimentResult
+
+from benchmarks.conftest import execute_figure
+
+
+def _shape_checks(result: ExperimentResult) -> dict:
+    xs = result.config.x_values
+    mobi = result.series["mobiJoin"].mean_bytes
+    up = result.series["upJoin"].mean_bytes
+    sr = result.series["srJoin"].mean_bytes
+    skew_idx = [xs.index(k) for k in (1, 2)]
+    return {
+        "UpJoin does not lose to MobiJoin on the most skewed settings": all(
+            up[i] <= mobi[i] * 1.05 for i in skew_idx
+        ),
+        "SrJoin wins clearly on the most skewed settings": all(
+            sr[i] <= mobi[i] * 0.9 for i in skew_idx
+        ),
+    }
+
+
+def test_figure_8a_real_data(benchmark, full_figures):
+    railway_size = 35_000 if full_figures else 5_000
+    seeds = (0, 1) if full_figures else (0,)
+    config = figure_8a(railway_size=railway_size, seeds=seeds)
+    execute_figure(benchmark, config, _shape_checks)

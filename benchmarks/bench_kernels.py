@@ -1,0 +1,96 @@
+"""Micro-benchmarks of the substrate kernels.
+
+These are not paper figures; they document the raw cost of the building
+blocks (in-memory join kernels, R-tree queries, packetisation accounting)
+so regressions in the substrates are visible independently of the
+algorithm-level experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.synthetic import clustered, uniform
+from repro.geometry.point import Point
+from repro.geometry.predicates import WithinDistancePredicate
+from repro.geometry.rect import Rect
+from repro.index.hash_join import grid_hash_join
+from repro.index.plane_sweep import plane_sweep_pairs
+from repro.index.rtree import RTree
+from repro.index.aggregate_rtree import AggregateRTree
+from repro.network.config import NetworkConfig
+from repro.network.packets import transferred_bytes
+
+
+def test_bench_plane_sweep_kernel(benchmark):
+    a = uniform(n=2000, seed=1).mbrs
+    b = uniform(n=2000, seed=2).mbrs
+    predicate = WithinDistancePredicate(0.01)
+    pairs = benchmark(plane_sweep_pairs, a, b, predicate)
+    assert len(pairs) > 0
+
+
+def test_bench_grid_hash_kernel(benchmark):
+    r = clustered(n=3000, clusters=8, seed=3)
+    s = clustered(n=3000, clusters=8, seed=4)
+    predicate = WithinDistancePredicate(0.01)
+    pairs = benchmark(
+        grid_hash_join, r.mbrs, r.oids, s.mbrs, s.oids, predicate
+    )
+    assert isinstance(pairs, list)
+
+
+def test_bench_rtree_bulk_load(benchmark):
+    dataset = uniform(n=5000, seed=5)
+    entries = dataset.entries()
+    tree = benchmark(RTree.bulk_load, entries, 16)
+    assert len(tree) == 5000
+
+
+def test_bench_rtree_window_queries(benchmark):
+    dataset = uniform(n=5000, seed=6)
+    tree = RTree.bulk_load(dataset.entries(), max_entries=16)
+    windows = [Rect(0.1 * i % 0.8, 0.07 * i % 0.8, 0.1 * i % 0.8 + 0.2, 0.07 * i % 0.8 + 0.2)
+               for i in range(50)]
+
+    def run():
+        total = 0
+        for w in windows:
+            total += len(tree.window_query(w))
+        return total
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_bench_aggregate_count(benchmark):
+    dataset = clustered(n=5000, clusters=16, seed=7)
+    agg = AggregateRTree(dataset.entries(), max_entries=16)
+    windows = Rect(0, 0, 1, 1).subdivide(8)
+
+    def run():
+        return sum(agg.count(w) for w in windows)
+
+    total = benchmark(run)
+    assert total >= 5000  # replication-free counts over a tiling >= n
+
+
+def test_bench_range_queries(benchmark):
+    dataset = clustered(n=5000, clusters=8, seed=8)
+    agg = AggregateRTree(dataset.entries(), max_entries=16)
+    probes = [Point(0.01 * i % 1.0, 0.013 * i % 1.0) for i in range(200)]
+
+    def run():
+        return sum(len(agg.range_query(p, 0.02)) for p in probes)
+
+    benchmark(run)
+
+
+def test_bench_packetisation(benchmark):
+    cfg = NetworkConfig()
+
+    def run():
+        return sum(transferred_bytes(n, cfg) for n in range(0, 200_000, 37))
+
+    total = benchmark(run)
+    assert total > 0

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The pinned offline environment ships setuptools 65 without the ``wheel``
+package, so PEP 660 editable wheels cannot be built.  Keeping a setup.py
+lets ``pip install -e .`` fall back to the legacy ``setup.py develop``
+path, which works offline.  All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

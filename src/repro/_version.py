@@ -1,0 +1,3 @@
+"""Version of the reproduction package."""
+
+__version__ = "1.0.0"

@@ -1,0 +1,207 @@
+"""The top-level public API.
+
+Two entry points:
+
+* :func:`quick_join` -- one call from two datasets to a measured
+  :class:`~repro.core.result.JoinResult`.
+* :class:`AdHocJoinSession` -- a reusable session that keeps the servers
+  (and their R-trees) alive across several runs, so different algorithms or
+  parameters can be compared on identical data without rebuilding indexes.
+
+Both wrap :mod:`repro.core.planner`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.base import AlgorithmParameters
+from repro.core.join_types import JoinSpec
+from repro.core.planner import ALGORITHMS, build_algorithm, build_session_stack
+from repro.core.result import JoinResult
+from repro.datasets.dataset import SpatialDataset
+from repro.device.pda import MobileDevice
+from repro.geometry.rect import Rect
+from repro.network.config import NetworkConfig
+from repro.server.server import SpatialServer
+
+__all__ = ["AdHocJoinSession", "JoinOutcome", "available_algorithms", "quick_join"]
+
+#: Public alias: the outcome type returned by every join execution.
+JoinOutcome = JoinResult
+
+
+def available_algorithms() -> List[str]:
+    """Names accepted by the ``algorithm`` argument of the API."""
+    return sorted(ALGORITHMS)
+
+
+def quick_join(
+    dataset_r: SpatialDataset,
+    dataset_s: SpatialDataset,
+    algorithm: str = "srjoin",
+    epsilon: float = 0.0,
+    kind: str = "distance",
+    min_matches: int = 1,
+    buffer_size: int = 800,
+    bucket_queries: bool = False,
+    alpha: float = 0.25,
+    rho: float = 0.30,
+    config: Optional[NetworkConfig] = None,
+    window: Optional[Rect] = None,
+    seed: int = 0,
+) -> JoinResult:
+    """Run one ad-hoc distributed spatial join end to end.
+
+    Parameters
+    ----------
+    dataset_r, dataset_s:
+        The two relations, hosted on independent (simulated) servers.
+    algorithm:
+        ``"mobijoin"``, ``"upjoin"``, ``"srjoin"``, ``"semijoin"``,
+        ``"naive"`` or ``"fixedgrid"``.
+    epsilon:
+        Distance threshold for ``kind="distance"`` / ``"iceberg"``.
+    kind:
+        ``"intersection"``, ``"distance"`` or ``"iceberg"``.
+    min_matches:
+        Iceberg threshold ``m`` (only for ``kind="iceberg"``).
+    buffer_size:
+        Device buffer capacity in objects.
+    bucket_queries:
+        Allow bucket epsilon-RANGE queries (the bucket NLSJ variants).
+    alpha, rho:
+        UpJoin's uniformity tolerance and SrJoin's density threshold.
+    config:
+        Wire constants / tariffs; defaults to the paper's WiFi setting.
+    window:
+        Joined region; defaults to the union of the dataset bounds.
+    seed:
+        Seed for algorithm-internal randomness.
+
+    Returns
+    -------
+    JoinResult
+        Pairs / objects, measured bytes per server, operator counts,
+        estimated response time and the execution trace.
+    """
+    session = AdHocJoinSession(
+        dataset_r,
+        dataset_s,
+        buffer_size=buffer_size,
+        config=config,
+        indexed=algorithm.lower() == "semijoin",
+    )
+    return session.run(
+        algorithm=algorithm,
+        epsilon=epsilon,
+        kind=kind,
+        min_matches=min_matches,
+        bucket_queries=bucket_queries,
+        alpha=alpha,
+        rho=rho,
+        window=window,
+        seed=seed,
+    )
+
+
+class AdHocJoinSession:
+    """A reusable two-server join session.
+
+    The servers (and their R-tree indexes) are built once; every
+    :meth:`run` call resets the metered channels and the device buffer, so
+    byte totals of consecutive runs are independent and comparable.
+    """
+
+    def __init__(
+        self,
+        dataset_r: SpatialDataset,
+        dataset_s: SpatialDataset,
+        buffer_size: int = 800,
+        config: Optional[NetworkConfig] = None,
+        indexed: bool = True,
+        index_fanout: int = 16,
+    ) -> None:
+        self.dataset_r = dataset_r
+        self.dataset_s = dataset_s
+        self.config = config or NetworkConfig()
+        self.buffer_size = buffer_size
+        self.server_r, self.server_s, self.device = build_session_stack(
+            dataset_r,
+            dataset_s,
+            buffer_size=buffer_size,
+            config=self.config,
+            indexed=indexed,
+            index_fanout=index_fanout,
+        )
+        self._history: List[JoinResult] = []
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def history(self) -> List[JoinResult]:
+        """Results of every run performed on this session."""
+        return list(self._history)
+
+    def default_window(self) -> Rect:
+        """The union MBR of both datasets (the default joined region)."""
+        return self.dataset_r.bounds().union(self.dataset_s.bounds())
+
+    def run(
+        self,
+        algorithm: str = "srjoin",
+        epsilon: float = 0.0,
+        kind: str = "distance",
+        min_matches: int = 1,
+        bucket_queries: bool = False,
+        alpha: float = 0.25,
+        rho: float = 0.30,
+        grid_k: int = 2,
+        trace: bool = True,
+        window: Optional[Rect] = None,
+        seed: int = 0,
+        buffer_size: Optional[int] = None,
+        **algorithm_kwargs: object,
+    ) -> JoinResult:
+        """Run one algorithm on this session's servers and record the result."""
+        spec = self._spec_for(kind, epsilon, min_matches)
+        params = AlgorithmParameters(
+            alpha=alpha,
+            rho=rho,
+            grid_k=grid_k,
+            bucket_queries=bucket_queries,
+            trace=trace,
+            seed=seed,
+        )
+        self.device.reset()
+        self.server_r.stats.reset()
+        self.server_s.stats.reset()
+        if buffer_size is not None:
+            self.device.buffer.capacity = buffer_size
+        else:
+            self.device.buffer.capacity = self.buffer_size
+        algo = build_algorithm(algorithm, self.device, spec, params, **algorithm_kwargs)
+        result = algo.run(window or self.default_window())
+        self._history.append(result)
+        return result
+
+    def compare(
+        self,
+        algorithms: List[str],
+        **run_kwargs: object,
+    ) -> Dict[str, JoinResult]:
+        """Run several algorithms on identical data; returns name -> result."""
+        return {name: self.run(algorithm=name, **run_kwargs) for name in algorithms}
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _spec_for(kind: str, epsilon: float, min_matches: int) -> JoinSpec:
+        k = kind.lower()
+        if k in ("intersection", "intersect"):
+            return JoinSpec.intersection()
+        if k in ("distance", "within"):
+            return JoinSpec.distance(epsilon)
+        if k in ("iceberg", "iceberg_semi", "semi"):
+            return JoinSpec.iceberg(epsilon, min_matches)
+        raise ValueError(f"unknown join kind {kind!r}")

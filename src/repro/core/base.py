@@ -1,0 +1,308 @@
+"""Shared machinery of the mobile join algorithms.
+
+:class:`MobileJoinAlgorithm` factors out everything MobiJoin, UpJoin and
+SrJoin have in common: the device/servers handles, the cost model, pair
+collection, tracing, recursion-depth safety valves, and the final assembly
+of a :class:`~repro.core.result.JoinResult` from the measured channels.
+
+Subclasses implement :meth:`_execute` (the recursive planning logic) and
+call the provided ``apply_hbsj`` / ``apply_nlsj`` / ``prune`` helpers, which
+keep the bookkeeping consistent across algorithms.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.costmodel import CostModel
+from repro.core.join_types import JoinSpec
+from repro.core.result import JoinResult, TraceEvent
+from repro.device.pda import MobileDevice
+from repro.geometry.predicates import JoinPredicate
+from repro.geometry.rect import Rect
+
+__all__ = ["MobileJoinAlgorithm", "AlgorithmParameters"]
+
+#: Hard recursion limit shared by every algorithm; beyond it the current
+#: window is finished with a physical operator regardless of the heuristics.
+#: (The data space halves per level, so 32 levels is far deeper than any
+#: realistic workload needs; the limit only guards pathological inputs.)
+MAX_DEPTH = 32
+
+
+@dataclass(frozen=True)
+class AlgorithmParameters:
+    """Tunables shared by the algorithms (each uses the subset it needs)."""
+
+    #: Eq. 9 uniformity tolerance (UpJoin); the paper settles on 0.25.
+    alpha: float = 0.25
+    #: Eq. 11 density threshold as a fraction of the average density
+    #: (SrJoin); the paper settles on 0.30.
+    rho: float = 0.30
+    #: Grid fan-out per repartitioning step; the paper fixes k = 2.
+    grid_k: int = 2
+    #: Use bucket epsilon-RANGE queries when running NLSJ.
+    bucket_queries: bool = False
+    #: Record a TraceEvent for every decision (cheap; disable for sweeps).
+    trace: bool = True
+    #: Seed for the algorithm's own randomness (UpJoin's confirmation window).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must lie in (0, 1]")
+        if self.rho <= 0:
+            raise ValueError("rho must be positive")
+        if self.grid_k < 2:
+            raise ValueError("grid_k must be >= 2")
+
+
+class MobileJoinAlgorithm(ABC):
+    """Base class of the client-side join algorithms.
+
+    Parameters
+    ----------
+    device:
+        The mobile device (buffer + metered server connections).
+    spec:
+        The join query.
+    params:
+        Algorithm tunables.
+    """
+
+    #: Short name used in results and reports; subclasses override.
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        device: MobileDevice,
+        spec: JoinSpec,
+        params: Optional[AlgorithmParameters] = None,
+    ) -> None:
+        self.device = device
+        self.spec = spec
+        self.params = params or AlgorithmParameters()
+        self.predicate: JoinPredicate = spec.predicate()
+        self.cost_model = CostModel(
+            device.config,
+            epsilon=self.predicate.probe_radius(),
+            bucket_queries=self.params.bucket_queries,
+        )
+        self._pairs: Set[Tuple[int, int]] = set()
+        self._trace: List[TraceEvent] = []
+        self._rng = np.random.default_rng(self.params.seed)
+
+    # ------------------------------------------------------------------ #
+    # public entry point
+    # ------------------------------------------------------------------ #
+
+    def run(self, window: Rect) -> JoinResult:
+        """Execute the join over ``window`` and assemble the result."""
+        self._pairs.clear()
+        self._trace.clear()
+        count_r = self.count_window("R", window)
+        count_s = self.count_window("S", window)
+        self.record(0, window, "start", f"{self.name}", count_r, count_s)
+        self._execute(window, count_r, count_s, depth=0)
+        return self._assemble(window)
+
+    # ------------------------------------------------------------------ #
+    # to be provided by each algorithm
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def _execute(self, window: Rect, count_r: int, count_s: int, depth: int) -> None:
+        """Plan and execute the join of one window (counts already known)."""
+
+    # ------------------------------------------------------------------ #
+    # helpers shared by the algorithms
+    # ------------------------------------------------------------------ #
+
+    @property
+    def buffer_size(self) -> int:
+        return self.device.buffer.capacity
+
+    def fits_in_buffer(self, count_r: int, count_s: int) -> bool:
+        """True when HBSJ on these counts respects the device buffer."""
+        return count_r + count_s <= self.buffer_size
+
+    def query_window(self, server_name: str, window: Rect) -> Rect:
+        """The window actually sent to one server for a cell.
+
+        The reproduction anchors pairs at the R object: R is always queried
+        with the unexpanded cell while S is queried with the cell expanded
+        by the predicate margin (``epsilon`` for distance joins), so that
+        pairs straddling a cell boundary are neither lost by pruning nor
+        missed by downloads (Section 3 of the paper extends cells before
+        sending them as window queries).
+        """
+        margin = self.predicate.window_margin
+        if server_name.upper() == "S" and margin > 0:
+            return window.expanded(margin)
+        return window
+
+    def count_window(self, server_name: str, window: Rect) -> int:
+        """COUNT one server over its query window for a cell.
+
+        All pruning and statistics decisions of the algorithms go through
+        this helper so that COUNTs are consistent with the windows the
+        physical operators later download.
+        """
+        return self.device.count_window(server_name, self.query_window(server_name, window))
+
+    def count_both(self, window: Rect) -> Tuple[int, int]:
+        """COUNT both servers over their query windows for a cell."""
+        return self.count_window("R", window), self.count_window("S", window)
+
+    def should_stop_partitioning(self, window: Rect, depth: int) -> bool:
+        """True when further repartitioning cannot pay off.
+
+        Splitting stops at :data:`MAX_DEPTH`, and -- for distance joins --
+        once a cell's children would be smaller than twice the S-side
+        expansion: at that scale every child's expanded S window covers
+        nearly the same region as the parent's, so the extra aggregate
+        queries can no longer expose prunable empty space.
+        """
+        if depth >= MAX_DEPTH:
+            return True
+        margin = self.predicate.window_margin
+        if margin <= 0:
+            return False
+        return min(window.width, window.height) / 2.0 <= 2.0 * margin
+
+    def refinement_worthwhile(self, window: Rect, count_r: int, count_s: int) -> bool:
+        """True when refining the window can possibly repay its statistics.
+
+        One more refinement level costs ``2 k^2`` aggregate queries before a
+        single byte of data is saved (Eq. 8's fixed term).  When the whole
+        window can be shipped for less than twice that amount, asking for
+        more statistics can never win -- the same economics as Eq. 10, lifted
+        from a single dataset to the repartitioning decision.  UpJoin and
+        SrJoin consult this before recursing; MobiJoin's own cost model
+        already embodies the trade-off through ``c4``.
+        """
+        stats_cost = 2.0 * (self.params.grid_k ** 2) * self.cost_model.taq
+        data_cost = self.cost_model.c1(
+            window, count_r, count_s, buffer_size=None, enforce_buffer=False
+        )
+        return data_cost > 2.0 * stats_cost
+
+    def prune(self, window: Rect, depth: int, count_r: int, count_s: int) -> None:
+        """Record that a window produced no work (one side empty)."""
+        self.device.counts.windows_pruned += 1
+        self.record(depth, window, "prune", "empty side", count_r, count_s)
+
+    def apply_hbsj(
+        self,
+        window: Rect,
+        depth: int,
+        count_r: Optional[int] = None,
+        count_s: Optional[int] = None,
+        counts_exact: bool = True,
+    ) -> None:
+        """Run HBSJ on the window and collect its pairs.
+
+        When the counts are only estimates (``counts_exact=False``) they are
+        not forwarded to the operator, which will issue its own COUNT
+        queries -- the paper's "issue additional aggregate queries only when
+        accuracy is crucial, i.e. when applying the physical operators".
+        """
+        self.record(depth, window, "HBSJ", "", count_r, count_s)
+        result = self.device.hbsj(
+            window,
+            self.predicate,
+            count_r=count_r if counts_exact else None,
+            count_s=count_s if counts_exact else None,
+        )
+        self._pairs.update(result.pairs)
+
+    def apply_nlsj(
+        self,
+        window: Rect,
+        depth: int,
+        outer: str,
+        count_r: Optional[int] = None,
+        count_s: Optional[int] = None,
+    ) -> None:
+        """Run NLSJ on the window (outer side as given) and collect its pairs."""
+        self.record(
+            depth, window, "NLSJ", f"outer={outer}, bucket={self.params.bucket_queries}",
+            count_r, count_s,
+        )
+        result = self.device.nlsj(
+            window, self.predicate, outer=outer, bucket=self.params.bucket_queries
+        )
+        self._pairs.update(result.pairs)
+
+    def cheaper_nlsj_side(self, window: Rect, count_r: int, count_s: int) -> Tuple[str, float]:
+        """The cheaper NLSJ orientation: ``("R", c2)`` or ``("S", c3)``.
+
+        ``"R"`` means the outer relation is R (the paper's ``c2``);
+        ``"S"`` means the outer relation is S (``c3``).
+        """
+        c2 = self.cost_model.c2(window, count_r, count_s)
+        c3 = self.cost_model.c3(window, count_r, count_s)
+        if c3 <= c2:
+            return "S", c3
+        return "R", c2
+
+    def quadrants_of(self, window: Rect) -> List[Rect]:
+        """The 2 x 2 decomposition used by every repartitioning step."""
+        return window.quadrants()
+
+    def record(
+        self,
+        depth: int,
+        window: Rect,
+        action: str,
+        detail: str = "",
+        count_r: Optional[int] = None,
+        count_s: Optional[int] = None,
+    ) -> None:
+        """Append a trace event (no-op when tracing is disabled)."""
+        if self.params.trace:
+            self._trace.append(
+                TraceEvent(
+                    depth=depth,
+                    window=window,
+                    action=action,
+                    detail=detail,
+                    count_r=count_r,
+                    count_s=count_s,
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+    # result assembly
+    # ------------------------------------------------------------------ #
+
+    def _assemble(self, window: Rect) -> JoinResult:
+        answer = self.spec.finalise(self._pairs)
+        servers = self.device.servers
+        result = JoinResult(
+            algorithm=self.name,
+            spec=self.spec,
+            pairs=set(answer.pairs),
+            objects=answer.objects,
+            total_bytes=servers.total_bytes(),
+            bytes_r=servers.r.total_bytes(),
+            bytes_s=servers.s.total_bytes(),
+            total_cost=servers.total_cost(),
+            estimated_time_s=self.device.estimated_response_time(),
+            operator_counts=self.device.counts.as_dict(),
+            server_stats={
+                "R": servers.r.backing_server.stats.as_dict(),
+                "S": servers.s.backing_server.stats.as_dict(),
+            },
+            channel_stats={
+                "R": servers.r.channel.snapshot(),
+                "S": servers.s.channel.snapshot(),
+            },
+            buffer_high_water_mark=self.device.buffer.high_water_mark,
+            trace=list(self._trace),
+        )
+        return result

@@ -1,0 +1,281 @@
+"""The transfer cost model of Section 3.1 (Equations 1-8).
+
+The model predicts, for a window ``w`` holding ``|Rw|`` and ``|Sw|``
+objects, the tariff-weighted wire bytes of the four execution strategies:
+
+``c1``  Hash-Based Spatial Join (HBSJ): download both windows, join on the
+        PDA.  Infinite when the two windows do not fit the buffer.
+``c2``  Nested-Loop Spatial Join with outer ``R``: download ``Rw`` and send
+        one epsilon-RANGE probe per object to ``S``.
+``c3``  Symmetric to ``c2`` with outer ``S``.
+``c4``  Repartition ``w`` into a ``k x k`` grid, retrieve statistics for
+        each cell, recurse.  The exact value is recursive (Eq. 8); the
+        *MobiJoin estimate* assumes the window is uniform and every
+        sub-window is finished with one HBSJ after a single partitioning
+        step -- precisely the heuristic Section 3.2 analyses and Section 4
+        improves upon.
+
+Bucket variants (Eqs. 5-6) model servers that accept many probes in one
+request.  All estimates reuse :func:`repro.network.packets.transferred_bytes`
+so planner estimates and measured bytes share one packetisation model.
+
+The model is *planning only*: measured totals always come from the
+channels.  Estimation error (for example from the uniformity assumption
+inside ``Tdq``) is part of what the paper studies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.geometry.rect import Rect
+from repro.network.config import NetworkConfig
+from repro.network.packets import (
+    aggregate_answer_bytes,
+    query_bytes,
+    transferred_bytes,
+)
+
+__all__ = ["CostModel", "CostBreakdown"]
+
+#: A stand-in for the paper's "infinite" cost of an infeasible strategy.
+INFEASIBLE = math.inf
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """The four strategy costs for one window (plus the chosen minimum)."""
+
+    c1_hbsj: float
+    c2_nlsj_outer_r: float
+    c3_nlsj_outer_s: float
+    c4_repartition: float
+
+    def cheapest(self) -> str:
+        """Name of the cheapest strategy (ties resolved in c1..c4 order)."""
+        costs = {
+            "c1": self.c1_hbsj,
+            "c2": self.c2_nlsj_outer_r,
+            "c3": self.c3_nlsj_outer_s,
+            "c4": self.c4_repartition,
+        }
+        return min(costs, key=lambda k: (costs[k], k))
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "c1": self.c1_hbsj,
+            "c2": self.c2_nlsj_outer_r,
+            "c3": self.c3_nlsj_outer_s,
+            "c4": self.c4_repartition,
+        }
+
+
+class CostModel:
+    """Planner-side cost estimates, parameterised by the network config.
+
+    Parameters
+    ----------
+    config:
+        Wire constants and tariffs.
+    epsilon:
+        The distance-join threshold used inside ``Tdq`` (0 for
+        intersection joins of point data, where probe answers are tiny).
+    bucket_queries:
+        When True the NLSJ estimates use the bucket equations (5-6).
+    """
+
+    def __init__(
+        self,
+        config: NetworkConfig,
+        epsilon: float = 0.0,
+        bucket_queries: bool = False,
+    ) -> None:
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        self.config = config
+        self.epsilon = epsilon
+        self.bucket_queries = bucket_queries
+
+    # ------------------------------------------------------------------ #
+    # primitive quantities
+    # ------------------------------------------------------------------ #
+
+    def tb(self, payload_bytes: int) -> int:
+        """Eq. 1: wire bytes for a payload."""
+        return transferred_bytes(payload_bytes, self.config)
+
+    def object_bytes(self, num_objects: int) -> int:
+        """Payload bytes of ``num_objects`` objects."""
+        return num_objects * self.config.object_bytes
+
+    @property
+    def taq(self) -> float:
+        """Eq. 7: wire bytes of one aggregate query + its scalar answer."""
+        return query_bytes(self.config) + aggregate_answer_bytes(self.config)
+
+    def expected_probe_matches(self, window: Rect, n_inner: int) -> float:
+        """Expected objects returned by one epsilon-RANGE probe (uniform assumption).
+
+        ``pi * eps^2 / (wx * wy) * |innerw|`` -- Section 3.1.  Degenerate
+        windows fall back to assuming all inner objects match (the safe,
+        pessimistic limit of the formula).
+        """
+        area = window.area
+        if area <= 0:
+            return float(n_inner)
+        frac = math.pi * self.epsilon * self.epsilon / area
+        return min(float(n_inner), frac * n_inner)
+
+    def tdq(self, window: Rect, n_inner: int) -> float:
+        """Eq. 3: bytes of one probe (query up, expected matches down)."""
+        expected = self.expected_probe_matches(window, n_inner)
+        payload = int(math.ceil(expected * self.config.object_bytes))
+        return query_bytes(self.config) + self.tb(payload)
+
+    # ------------------------------------------------------------------ #
+    # the four strategies
+    # ------------------------------------------------------------------ #
+
+    def c1(
+        self,
+        window: Rect,
+        n_r: int,
+        n_s: int,
+        buffer_size: Optional[int] = None,
+        enforce_buffer: bool = True,
+    ) -> float:
+        """Eq. 2: HBSJ -- download both windows, join on the device."""
+        if enforce_buffer and buffer_size is not None and n_r + n_s > buffer_size:
+            return INFEASIBLE
+        cfg = self.config
+        cost = (cfg.tariff_r + cfg.tariff_s) * query_bytes(cfg)
+        cost += cfg.tariff_r * self.tb(self.object_bytes(n_r))
+        cost += cfg.tariff_s * self.tb(self.object_bytes(n_s))
+        return cost
+
+    def c2(self, window: Rect, n_r: int, n_s: int) -> float:
+        """Eq. 4 / Eq. 6: NLSJ with outer ``R`` probing ``S``."""
+        if self.bucket_queries:
+            return self._nlsj_bucket(window, n_outer=n_r, n_inner=n_s, outer="R")
+        return self._nlsj_per_object(window, n_outer=n_r, n_inner=n_s, outer="R")
+
+    def c3(self, window: Rect, n_r: int, n_s: int) -> float:
+        """The symmetric case of ``c2``: outer ``S`` probing ``R``."""
+        if self.bucket_queries:
+            return self._nlsj_bucket(window, n_outer=n_s, n_inner=n_r, outer="S")
+        return self._nlsj_per_object(window, n_outer=n_s, n_inner=n_r, outer="S")
+
+    def c4_estimate(
+        self,
+        window: Rect,
+        n_r: int,
+        n_s: int,
+        buffer_size: Optional[int],
+        k: int = 2,
+    ) -> float:
+        """Eq. 8 under MobiJoin's uniformity heuristic.
+
+        The window is assumed uniform *and small enough* that each of the
+        ``k^2`` sub-windows (holding ``n/k^2`` objects of each dataset) is
+        finished by a single HBSJ -- MobiJoin's optimistic heuristic, so the
+        hypothetical sub-HBSJs are costed without the buffer cut (Section
+        3.2: "every subwindow w' will be processed by HBSJ after only one
+        partitioning").  The ``2 k^2`` aggregate queries needed to learn the
+        sub-window counts are charged up front.  ``buffer_size`` is accepted
+        for signature symmetry but deliberately unused.
+        """
+        if k < 2:
+            raise ValueError("k must be >= 2")
+        cells = window.subdivide(k)
+        sub_r = int(round(n_r / (k * k)))
+        sub_s = int(round(n_s / (k * k)))
+        cost = 2.0 * k * k * self.taq
+        for cell in cells:
+            c1 = self.c1(cell, sub_r, sub_s, buffer_size=None, enforce_buffer=False)
+            c2 = self.c2(cell, sub_r, sub_s)
+            c3 = self.c3(cell, sub_r, sub_s)
+            cost += min(c1, c2, c3)
+        return cost
+
+    def breakdown(
+        self,
+        window: Rect,
+        n_r: int,
+        n_s: int,
+        buffer_size: Optional[int],
+        k: int = 2,
+        include_c4: bool = True,
+    ) -> CostBreakdown:
+        """All four strategy estimates for one window."""
+        return CostBreakdown(
+            c1_hbsj=self.c1(window, n_r, n_s, buffer_size),
+            c2_nlsj_outer_r=self.c2(window, n_r, n_s),
+            c3_nlsj_outer_s=self.c3(window, n_r, n_s),
+            c4_repartition=(
+                self.c4_estimate(window, n_r, n_s, buffer_size, k=k)
+                if include_c4
+                else INFEASIBLE
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # SemiJoin estimate (Section 5.3) -- used by tests and ablations
+    # ------------------------------------------------------------------ #
+
+    def semijoin_estimate(
+        self, n_level_mbrs: int, n_small_objects: int, n_result_rows: int
+    ) -> float:
+        """Transfer cost of the PDA-mediated SemiJoin.
+
+        The MBRs of one tree level move large-server -> PDA -> small-server,
+        the qualifying small-side objects move small-server -> PDA ->
+        large-server, and the result rows come back to the PDA.  Every hop
+        is charged at the corresponding tariff.
+        """
+        cfg = self.config
+        mbr_payload = self.object_bytes(n_level_mbrs)
+        obj_payload = self.object_bytes(n_small_objects)
+        res_payload = self.object_bytes(n_result_rows)
+        cost = (cfg.tariff_r + cfg.tariff_s) * (2 * query_bytes(cfg))
+        cost += (cfg.tariff_r + cfg.tariff_s) * self.tb(mbr_payload)
+        cost += (cfg.tariff_r + cfg.tariff_s) * self.tb(obj_payload)
+        cost += max(cfg.tariff_r, cfg.tariff_s) * self.tb(res_payload)
+        return cost
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _tariff(self, server: str) -> float:
+        return self.config.tariff_r if server == "R" else self.config.tariff_s
+
+    def _nlsj_per_object(
+        self, window: Rect, n_outer: int, n_inner: int, outer: str
+    ) -> float:
+        """Eq. 4: one query + one response per outer object."""
+        inner = "S" if outer == "R" else "R"
+        cost = self._tariff(outer) * query_bytes(self.config)
+        cost += self._tariff(outer) * self.tb(self.object_bytes(n_outer))
+        cost += self._tariff(inner) * n_outer * self.tdq(window, n_inner)
+        return cost
+
+    def _nlsj_bucket(
+        self, window: Rect, n_outer: int, n_inner: int, outer: str
+    ) -> float:
+        """Eq. 6: all probes shipped in one bucket request."""
+        inner = "S" if outer == "R" else "R"
+        cfg = self.config
+        cost = (cfg.tariff_r + cfg.tariff_s) * query_bytes(cfg)
+        # Outer objects are downloaded from their server and uploaded to the
+        # inner server inside the bucket request: both hops pay TB(|outer| * Bobj).
+        cost += (self._tariff(outer) + self._tariff(inner)) * self.tb(
+            self.object_bytes(n_outer)
+        )
+        expected = self.expected_probe_matches(window, n_inner)
+        payload = int(
+            math.ceil((expected * cfg.object_bytes + cfg.object_bytes) * n_outer)
+        )
+        cost += self._tariff(inner) * self.tb(payload)
+        return cost

@@ -1,0 +1,94 @@
+"""MobiJoin -- the published baseline (Mamoulis et al., SSTD 2003; Section 3.2).
+
+MobiJoin recursively partitions the data space and prunes empty regions.
+For every window it:
+
+1. prunes when either dataset is empty,
+2. estimates the four strategy costs ``c1`` (HBSJ), ``c2``/``c3`` (NLSJ)
+   and ``c4`` (repartition into a regular ``k x k`` grid, ``k = 2``),
+3. executes the cheapest strategy; a repartitioning step issues ``2 k^2``
+   COUNT queries and recurses into every non-empty cell.
+
+The crucial weakness -- analysed at length in the paper and reproduced here
+faithfully -- is the estimate of ``c4``: MobiJoin assumes the window is
+*uniform* and that one more level of partitioning suffices, so each
+sub-window is costed as an HBSJ of ``n/k^2`` objects.  Skewed data makes
+this estimate wildly optimistic or pessimistic (Figure 2), which is exactly
+what UpJoin and SrJoin fix.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.base import MAX_DEPTH, AlgorithmParameters, MobileJoinAlgorithm
+from repro.core.join_types import JoinSpec
+from repro.device.pda import MobileDevice
+from repro.geometry.rect import Rect
+
+__all__ = ["MobiJoin"]
+
+
+class MobiJoin(MobileJoinAlgorithm):
+    """The partition-and-prune baseline algorithm."""
+
+    name = "mobijoin"
+
+    def __init__(
+        self,
+        device: MobileDevice,
+        spec: JoinSpec,
+        params: Optional[AlgorithmParameters] = None,
+    ) -> None:
+        super().__init__(device, spec, params)
+
+    # ------------------------------------------------------------------ #
+
+    def _execute(self, window: Rect, count_r: int, count_s: int, depth: int) -> None:
+        if count_r == 0 or count_s == 0:
+            self.prune(window, depth, count_r, count_s)
+            return
+
+        breakdown = self.cost_model.breakdown(
+            window,
+            count_r,
+            count_s,
+            buffer_size=self.buffer_size,
+            k=self.params.grid_k,
+            include_c4=not self.should_stop_partitioning(window, depth),
+        )
+        choice = breakdown.cheapest()
+        self.record(
+            depth,
+            window,
+            "plan",
+            f"c1={breakdown.c1_hbsj:.0f} c2={breakdown.c2_nlsj_outer_r:.0f} "
+            f"c3={breakdown.c3_nlsj_outer_s:.0f} c4~{breakdown.c4_repartition:.0f} "
+            f"-> {choice}",
+            count_r,
+            count_s,
+        )
+
+        if choice == "c1":
+            self.apply_hbsj(window, depth, count_r, count_s)
+        elif choice == "c2":
+            self.apply_nlsj(window, depth, outer="R", count_r=count_r, count_s=count_s)
+        elif choice == "c3":
+            self.apply_nlsj(window, depth, outer="S", count_r=count_r, count_s=count_s)
+        else:
+            self._repartition(window, depth)
+
+    # ------------------------------------------------------------------ #
+
+    def _repartition(self, window: Rect, depth: int) -> None:
+        """Divide the window into a regular ``k x k`` grid and recurse.
+
+        Every cell costs two COUNT queries (one per server), matching the
+        ``2 k^2 * Taq`` term of Eq. 8.
+        """
+        self.device.note_repartition()
+        k = self.params.grid_k
+        self.record(depth, window, "repartition", f"{k}x{k} grid")
+        for cell in window.subdivide(k):
+            sub_r, sub_s = self.count_both(cell)
+            self._execute(cell, sub_r, sub_s, depth + 1)

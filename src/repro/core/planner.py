@@ -1,0 +1,121 @@
+"""The execution facade: build and run any of the join algorithms.
+
+The experiments (and the public API in :mod:`repro.api`) construct a full
+stack -- servers, metered channels, device -- from two datasets and a
+handful of parameters, run one algorithm over it, and read the measured
+bytes off the result.  :func:`run_join` is that one-call path;
+:func:`build_algorithm` exposes the intermediate pieces for callers that
+want to reuse servers across runs (the experiment harness does, to avoid
+rebuilding R-trees for every algorithm).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.base import AlgorithmParameters, MobileJoinAlgorithm
+from repro.core.join_types import JoinSpec
+from repro.core.mobijoin import MobiJoin
+from repro.core.naive import FixedGridJoin, NaiveDownloadJoin
+from repro.core.result import JoinResult
+from repro.core.semijoin import SemiJoin
+from repro.core.srjoin import SrJoin
+from repro.core.upjoin import UpJoin
+from repro.datasets.dataset import SpatialDataset
+from repro.device.pda import MobileDevice
+from repro.geometry.rect import Rect
+from repro.network.config import NetworkConfig
+from repro.server.remote import ServerPair
+from repro.server.server import SpatialServer
+
+__all__ = ["ALGORITHMS", "build_algorithm", "build_session_stack", "run_join"]
+
+#: Registry of algorithm names accepted by the public API.
+ALGORITHMS: Dict[str, type] = {
+    "mobijoin": MobiJoin,
+    "upjoin": UpJoin,
+    "srjoin": SrJoin,
+    "semijoin": SemiJoin,
+    "naive": NaiveDownloadJoin,
+    "fixedgrid": FixedGridJoin,
+}
+
+
+def build_session_stack(
+    dataset_r: SpatialDataset,
+    dataset_s: SpatialDataset,
+    buffer_size: int = 800,
+    config: Optional[NetworkConfig] = None,
+    indexed: bool = False,
+    index_fanout: int = 16,
+) -> Tuple[SpatialServer, SpatialServer, MobileDevice]:
+    """Build the two servers, the metered connections and the device."""
+    config = config or NetworkConfig()
+    server_r = SpatialServer(dataset_r.rename("R"), name="R", index_fanout=index_fanout)
+    server_s = SpatialServer(dataset_s.rename("S"), name="S", index_fanout=index_fanout)
+    pair = ServerPair.connect(server_r, server_s, config=config, indexed=indexed)
+    device = MobileDevice(pair, buffer_size=buffer_size)
+    return server_r, server_s, device
+
+
+def build_algorithm(
+    name: str,
+    device: MobileDevice,
+    spec: JoinSpec,
+    params: Optional[AlgorithmParameters] = None,
+    **algorithm_kwargs: object,
+) -> MobileJoinAlgorithm:
+    """Instantiate an algorithm by registry name."""
+    key = name.lower()
+    if key not in ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
+        )
+    cls = ALGORITHMS[key]
+    return cls(device, spec, params, **algorithm_kwargs)  # type: ignore[call-arg]
+
+
+def run_join(
+    dataset_r: SpatialDataset,
+    dataset_s: SpatialDataset,
+    spec: JoinSpec,
+    algorithm: str = "srjoin",
+    buffer_size: int = 800,
+    config: Optional[NetworkConfig] = None,
+    params: Optional[AlgorithmParameters] = None,
+    window: Optional[Rect] = None,
+    index_fanout: int = 16,
+    **algorithm_kwargs: object,
+) -> JoinResult:
+    """Build the full stack, run one algorithm, return the measured result.
+
+    Parameters
+    ----------
+    dataset_r, dataset_s:
+        The two spatial relations (hosted by independent servers).
+    spec:
+        The join query.
+    algorithm:
+        One of :data:`ALGORITHMS`.
+    buffer_size:
+        Device buffer capacity in objects.
+    config:
+        Wire constants and tariffs (defaults to the paper's WiFi setting).
+    params:
+        Algorithm tunables (alpha, rho, bucket queries, ...).
+    window:
+        The joined region; defaults to the union MBR of both datasets.
+    """
+    indexed = algorithm.lower() == "semijoin"
+    _, _, device = build_session_stack(
+        dataset_r,
+        dataset_s,
+        buffer_size=buffer_size,
+        config=config,
+        indexed=indexed,
+        index_fanout=index_fanout,
+    )
+    algo = build_algorithm(algorithm, device, spec, params, **algorithm_kwargs)
+    if window is None:
+        window = dataset_r.bounds().union(dataset_s.bounds())
+    return algo.run(window)

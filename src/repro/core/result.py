@@ -1,0 +1,109 @@
+"""Join execution results and traces.
+
+A :class:`JoinResult` is what every algorithm returns: the qualifying pairs
+(and, for semi-joins, the qualifying objects), the measured transfer bytes
+broken down per server and per direction, the operator bookkeeping, and an
+optional step-by-step trace that the examples print and the tests inspect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.join_types import JoinSpec
+from repro.geometry.rect import Rect
+
+__all__ = ["JoinResult", "TraceEvent"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One planning or execution step of an algorithm."""
+
+    depth: int
+    window: Rect
+    action: str
+    detail: str = ""
+    count_r: Optional[int] = None
+    count_s: Optional[int] = None
+
+    def format(self) -> str:
+        indent = "  " * self.depth
+        counts = ""
+        if self.count_r is not None or self.count_s is not None:
+            counts = f" |Rw|={self.count_r} |Sw|={self.count_s}"
+        detail = f" ({self.detail})" if self.detail else ""
+        return f"{indent}{self.action}{counts}{detail} @ {self.window}"
+
+
+@dataclass
+class JoinResult:
+    """The outcome of one ad-hoc distributed spatial join execution."""
+
+    algorithm: str
+    spec: JoinSpec
+    #: Deduplicated qualifying pairs ``(r_oid, s_oid)``.
+    pairs: Set[Tuple[int, int]] = field(default_factory=set)
+    #: Qualifying R objects (iceberg / semi-join answers only).
+    objects: List[int] = field(default_factory=list)
+    #: Measured wire bytes, total and per server.
+    total_bytes: int = 0
+    bytes_r: int = 0
+    bytes_s: int = 0
+    #: Tariff-weighted cost (equals total_bytes when both tariffs are 1).
+    total_cost: float = 0.0
+    #: Estimated wall-clock seconds over the 802.11b link model.
+    estimated_time_s: float = 0.0
+    #: Operator and query bookkeeping.
+    operator_counts: Dict[str, int] = field(default_factory=dict)
+    server_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    channel_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    buffer_high_water_mark: int = 0
+    #: Step-by-step trace (may be empty when tracing is disabled).
+    trace: List[TraceEvent] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def num_objects(self) -> int:
+        return len(self.objects)
+
+    def sorted_pairs(self) -> List[Tuple[int, int]]:
+        """Qualifying pairs in deterministic order."""
+        return sorted(self.pairs)
+
+    def matches_pairs(self, expected: Set[Tuple[int, int]]) -> bool:
+        """Exact-answer check against an oracle pair set."""
+        return self.pairs == set(expected)
+
+    def summary(self) -> str:
+        """A one-paragraph human-readable summary."""
+        lines = [
+            f"algorithm      : {self.algorithm}",
+            f"query          : {self.spec.describe()}",
+            f"result pairs   : {self.num_pairs}",
+        ]
+        if self.spec.is_semi_join:
+            lines.append(f"result objects : {self.num_objects}")
+        lines += [
+            f"total bytes    : {self.total_bytes}",
+            f"  server R     : {self.bytes_r}",
+            f"  server S     : {self.bytes_s}",
+            f"total cost     : {self.total_cost:.1f}",
+            f"est. time      : {self.estimated_time_s:.3f} s",
+            f"buffer peak    : {self.buffer_high_water_mark}",
+        ]
+        if self.operator_counts:
+            ops = ", ".join(f"{k}={v}" for k, v in sorted(self.operator_counts.items()))
+            lines.append(f"operators      : {ops}")
+        return "\n".join(lines)
+
+    def format_trace(self, max_events: Optional[int] = None) -> str:
+        """The execution trace as indented text."""
+        events = self.trace if max_events is None else self.trace[:max_events]
+        return "\n".join(ev.format() for ev in events)

@@ -1,0 +1,156 @@
+"""SrJoin -- the Similarity Related Join (Section 4.2, Figure 5).
+
+UpJoin looks at each dataset's distribution in isolation; SrJoin compares
+the *two* distributions.  When they are similar, repartitioning cannot
+prune anything (Figure 4 of the paper), so the algorithm should stop
+refining and run a physical operator; when they differ, refining is likely
+to expose prunable empty regions, so the algorithm recurses aggressively.
+
+For the current window SrJoin:
+
+1. imposes a 2 x 2 grid and retrieves the quadrant counts of both datasets;
+2. builds a 4-bit *density bitmap* per dataset (Eq. 11): a quadrant's bit
+   is set when its count exceeds ``rho`` times the window's average density
+   times the quadrant area;
+3. if the bitmaps are equal -- the distributions are deemed similar -- each
+   non-empty quadrant is finished immediately with the cheaper of HBSJ and
+   NLSJ (the cost model decides per quadrant);
+4. if the bitmaps differ, a quadrant is still finished directly when it is
+   too small to justify more statistics (its operator cost is below
+   ``3 * Taq``); otherwise SrJoin recurses into it, charging only the
+   aggregate queries -- the paper's "aggressive estimation for the cost of
+   repartitioning".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.base import MAX_DEPTH, AlgorithmParameters, MobileJoinAlgorithm
+from repro.core.join_types import JoinSpec
+from repro.core.stats import QuadrantCounts, fetch_quadrant_counts
+from repro.core.uniformity import bitmaps_equal, density_bitmap
+from repro.device.pda import MobileDevice
+from repro.geometry.rect import Rect
+
+__all__ = ["SrJoin"]
+
+
+class SrJoin(MobileJoinAlgorithm):
+    """The similarity-driven distribution-aware join."""
+
+    name = "srjoin"
+
+    def __init__(
+        self,
+        device: MobileDevice,
+        spec: JoinSpec,
+        params: Optional[AlgorithmParameters] = None,
+    ) -> None:
+        super().__init__(device, spec, params)
+
+    # ------------------------------------------------------------------ #
+
+    def _execute(self, window: Rect, count_r: int, count_s: int, depth: int) -> None:
+        if count_r == 0 or count_s == 0:
+            self.prune(window, depth, count_r, count_s)
+            return
+        self._recurse(window, count_r, count_s, depth)
+
+    def _recurse(self, window: Rect, count_r: int, count_s: int, depth: int) -> None:
+        # Lines 1-2: quadrant statistics for both datasets (R counted on the
+        # raw quadrants, S on their epsilon-expanded query windows).
+        quad_r = fetch_quadrant_counts(
+            self.device, "R", window, count_r, derive_fourth=True, margin=0.0
+        )
+        quad_s = fetch_quadrant_counts(
+            self.device,
+            "S",
+            window,
+            count_s,
+            derive_fourth=True,
+            margin=self.predicate.window_margin,
+        )
+        quadrants = self.quadrants_of(window)
+
+        # Lines 3-5: density bitmaps (Eq. 11).
+        bits_r = density_bitmap(window, quadrants, count_r, quad_r.counts, self.params.rho)
+        bits_s = density_bitmap(window, quadrants, count_s, quad_s.counts, self.params.rho)
+        similar = bitmaps_equal(bits_r, bits_s)
+        self.record(
+            depth,
+            window,
+            "bitmaps",
+            f"R={''.join('1' if b else '0' for b in bits_r)} "
+            f"S={''.join('1' if b else '0' for b in bits_s)} "
+            f"{'similar' if similar else 'different'}",
+            count_r,
+            count_s,
+        )
+
+        for i, cell in enumerate(quadrants):
+            cell_r = quad_r.count(i)
+            cell_s = quad_s.count(i)
+            exact = quad_r.is_exact(i) and quad_s.is_exact(i)
+
+            # Lines 8 / 14: skip empty quadrants.  Estimated zeros are
+            # confirmed with a real COUNT before pruning (extended objects).
+            if cell_r <= 0 or cell_s <= 0:
+                if not exact:
+                    real_r, real_s = self.count_both(cell)
+                    if real_r > 0 and real_s > 0:
+                        cell_r, cell_s, exact = float(real_r), float(real_s), True
+                    else:
+                        self.prune(cell, depth + 1, real_r, real_s)
+                        continue
+                else:
+                    self.prune(cell, depth + 1, int(cell_r), int(cell_s))
+                    continue
+
+            int_r, int_s = int(round(cell_r)), int(round(cell_s))
+            # The cost model's c1 is evaluated without the hard buffer cut:
+            # SrJoin's HBSJ recursively partitions windows that do not fit
+            # (Section 4.2), so the estimate stays finite.
+            c1 = self.cost_model.c1(cell, int_r, int_s, buffer_size=None, enforce_buffer=False)
+            nlsj_outer, nlsj_cost = self.cheaper_nlsj_side(cell, int_r, int_s)
+
+            if similar or self.should_stop_partitioning(cell, depth + 1):
+                # Lines 7-11: distributions match (or the quadrant is too
+                # small for further refinement) -- finish it now.
+                self._apply_operator(cell, depth + 1, int_r, int_s, c1, nlsj_outer, nlsj_cost, exact)
+                continue
+
+            # Lines 13-19: distributions differ.
+            if (
+                c1 < 3.0 * self.cost_model.taq
+                or nlsj_cost < 3.0 * self.cost_model.taq
+                or not self.refinement_worthwhile(cell, int_r, int_s)
+            ):
+                # The quadrant is too small for more statistics to pay off.
+                self._apply_operator(cell, depth + 1, int_r, int_s, c1, nlsj_outer, nlsj_cost, exact)
+            else:
+                # Repartition aggressively, hoping the next level prunes.
+                self.device.note_repartition()
+                self.record(depth + 1, cell, "recurse", "bitmaps differ", int_r, int_s)
+                self._recurse(cell, int_r, int_s, depth + 1)
+
+    # ------------------------------------------------------------------ #
+
+    def _apply_operator(
+        self,
+        cell: Rect,
+        depth: int,
+        count_r: int,
+        count_s: int,
+        c1: float,
+        nlsj_outer: str,
+        nlsj_cost: float,
+        counts_exact: bool,
+    ) -> None:
+        """Finish a quadrant with the cheaper physical operator (lines 9-11/16-18)."""
+        if c1 <= nlsj_cost:
+            # HBSJ; the operator itself repartitions recursively when the
+            # quadrant does not fit the device buffer.
+            self.apply_hbsj(cell, depth, count_r, count_s, counts_exact=counts_exact)
+        else:
+            self.apply_nlsj(cell, depth, outer=nlsj_outer, count_r=count_r, count_s=count_s)

@@ -1,0 +1,130 @@
+"""Quadrant statistics retrieval.
+
+UpJoin and SrJoin learn the distribution of a window by imposing a 2 x 2
+grid and counting each cell.  The paper's optimisation (Section 4.1):
+"UpJoin can identify a skewed dataset by issuing only three aggregate
+queries, since |Dw'4| = |Dw| - sum(|Dw'i|)" -- the fourth count is derived.
+
+The derivation is exact for point datasets.  For extended objects
+(segments, polygons) an object can intersect several quadrants and the
+derived value becomes an *underestimate*; it is then only used for cost
+estimation, and whenever it would drive a pruning decision (derived value
+of zero) a real COUNT query is issued so no result pair can ever be lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.device.pda import MobileDevice
+from repro.geometry.rect import Rect
+
+__all__ = ["QuadrantCounts", "fetch_quadrant_counts", "estimate_quadrant_counts"]
+
+
+@dataclass(frozen=True)
+class QuadrantCounts:
+    """Counts of one dataset over the four quadrants of a window."""
+
+    window: Rect
+    quadrants: Tuple[Rect, Rect, Rect, Rect]
+    counts: Tuple[float, float, float, float]
+    #: Whether each count came from a real COUNT query (False = derived or
+    #: estimated from a uniformity assumption).
+    exact: Tuple[bool, bool, bool, bool]
+    #: Number of COUNT queries actually issued to obtain these statistics.
+    queries_issued: int
+
+    def count(self, i: int) -> float:
+        return self.counts[i]
+
+    def is_exact(self, i: int) -> bool:
+        return self.exact[i]
+
+    def total(self) -> float:
+        return float(sum(self.counts))
+
+    def as_int_counts(self) -> Tuple[int, int, int, int]:
+        return tuple(int(round(c)) for c in self.counts)  # type: ignore[return-value]
+
+
+def fetch_quadrant_counts(
+    device: MobileDevice,
+    server_name: str,
+    window: Rect,
+    parent_count: int,
+    derive_fourth: bool = True,
+    margin: float = 0.0,
+) -> QuadrantCounts:
+    """Retrieve the quadrant counts of ``window`` for one server.
+
+    Parameters
+    ----------
+    device:
+        The mobile device (its COUNT calls are metered and counted).
+    server_name:
+        ``"R"`` or ``"S"``.
+    window:
+        The window being decomposed.
+    parent_count:
+        The already-known count of the whole window (from the caller's
+        earlier COUNT query), used to derive the last quadrant.
+    derive_fourth:
+        Apply the three-queries-plus-derivation optimisation.  When the
+        derived value would be non-positive a real COUNT is issued instead,
+        so pruning decisions are always based on exact zeros.
+    margin:
+        Per-side expansion applied to each quadrant before counting
+        (``epsilon / 2`` for distance joins), keeping the statistics
+        consistent with the windows the physical operators download.
+    """
+    quadrants = tuple(window.quadrants())
+    counts: List[float] = []
+    exact: List[bool] = []
+    issued = 0
+    for i, quadrant in enumerate(quadrants):
+        probe = quadrant.expanded(margin) if margin > 0 else quadrant
+        if derive_fourth and i == 3:
+            derived = parent_count - sum(counts)
+            if derived > 0:
+                counts.append(float(derived))
+                exact.append(False)
+                continue
+            # Derived value suspicious (0 or negative, possible for extended
+            # objects or overlapping expanded quadrants): confirm with a
+            # real query before anyone prunes on it.
+            real = device.count_window(server_name, probe)
+            issued += 1
+            counts.append(float(real))
+            exact.append(True)
+            continue
+        real = device.count_window(server_name, probe)
+        issued += 1
+        counts.append(float(real))
+        exact.append(True)
+    return QuadrantCounts(
+        window=window,
+        quadrants=quadrants,  # type: ignore[arg-type]
+        counts=tuple(counts),  # type: ignore[arg-type]
+        exact=tuple(exact),  # type: ignore[arg-type]
+        queries_issued=issued,
+    )
+
+
+def estimate_quadrant_counts(window: Rect, parent_count: int) -> QuadrantCounts:
+    """Quadrant counts under the uniformity assumption (no queries issued).
+
+    Used when a dataset has already been characterised as uniform at an
+    earlier recursion step: the paper's UpJoin "estimates the number of
+    objects in the quadrants, based on |Dw| and the uniformity assumption".
+    """
+    quadrants = tuple(window.quadrants())
+    quarter = parent_count / 4.0
+    return QuadrantCounts(
+        window=window,
+        quadrants=quadrants,  # type: ignore[arg-type]
+        counts=(quarter, quarter, quarter, quarter),
+        exact=(False, False, False, False),
+        queries_issued=0,
+    )

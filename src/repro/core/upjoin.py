@@ -1,0 +1,293 @@
+"""UpJoin -- the Uniform Partition Join (Section 4.1, Figure 3).
+
+UpJoin's insight: the cost model is only trustworthy on windows where the
+data is (roughly) *uniformly* distributed.  The algorithm therefore
+estimates the distribution of each dataset inside the current window before
+committing to a physical operator:
+
+1. prune when either side is empty;
+2. for each dataset that is "large" (Eq. 10) and not already known to be
+   uniform, impose a 2 x 2 grid, retrieve the quadrant counts (three COUNT
+   queries, the fourth derived) and test Eq. 9; a positive test is
+   confirmed with one extra COUNT over a randomly placed quadrant-sized
+   window;
+3. compute ``c1`` (HBSJ) and the cheaper NLSJ orientation;
+4. if HBSJ is cheapest: run it only when *both* datasets are uniform and
+   the windows fit the buffer, otherwise repartition;
+5. if NLSJ is cheapest: run it only when the *inner* (larger) dataset is
+   uniform -- a skewed inner side may still hide prunable empty regions --
+   otherwise repartition.
+
+Uniformity knowledge is inherited down the recursion: once a dataset is
+declared uniform its sub-window counts are estimated (not queried), and
+exact counts are fetched again only when a physical operator is about to
+run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.base import MAX_DEPTH, AlgorithmParameters, MobileJoinAlgorithm
+from repro.core.join_types import JoinSpec
+from repro.core.stats import QuadrantCounts, estimate_quadrant_counts, fetch_quadrant_counts
+from repro.core.uniformity import (
+    confirms_uniformity,
+    is_uniform,
+    worth_retrieving_statistics,
+)
+from repro.device.pda import MobileDevice
+from repro.geometry.rect import Rect
+
+__all__ = ["UpJoin"]
+
+
+@dataclass(frozen=True)
+class _SideState:
+    """Per-dataset knowledge about the current window."""
+
+    count: float
+    count_exact: bool
+    uniform: bool
+    quadrants: Optional[QuadrantCounts]
+
+
+class UpJoin(MobileJoinAlgorithm):
+    """The distribution-aware Uniform Partition Join."""
+
+    name = "upjoin"
+
+    def __init__(
+        self,
+        device: MobileDevice,
+        spec: JoinSpec,
+        params: Optional[AlgorithmParameters] = None,
+    ) -> None:
+        super().__init__(device, spec, params)
+
+    # ------------------------------------------------------------------ #
+
+    def _execute(self, window: Rect, count_r: int, count_s: int, depth: int) -> None:
+        self._recurse(
+            window,
+            float(count_r),
+            float(count_s),
+            counts_exact=True,
+            known_uniform_r=False,
+            known_uniform_s=False,
+            depth=depth,
+        )
+
+    def _recurse(
+        self,
+        window: Rect,
+        count_r: float,
+        count_s: float,
+        counts_exact: bool,
+        known_uniform_r: bool,
+        known_uniform_s: bool,
+        depth: int,
+    ) -> None:
+        # Line 1: prune windows where at least one dataset is empty.  An
+        # estimated (inexact) zero is confirmed before pruning, so extended
+        # objects can never be lost to the count-derivation shortcut.
+        if count_r <= 0 or count_s <= 0:
+            if counts_exact:
+                self.prune(window, depth, int(count_r), int(count_s))
+                return
+            exact_r, exact_s = self.count_both(window)
+            if exact_r == 0 or exact_s == 0:
+                self.prune(window, depth, exact_r, exact_s)
+                return
+            count_r, count_s, counts_exact = float(exact_r), float(exact_s), True
+
+        # Economics gate (Eq. 10 lifted to the window level): when the whole
+        # window is cheaper to ship than the statistics another refinement
+        # level would cost, or the window is already at the epsilon scale,
+        # finish it with the cheapest operator without asking for more
+        # statistics at all.
+        gate_r, gate_s = int(round(count_r)), int(round(count_s))
+        if self.should_stop_partitioning(window, depth) or not self.refinement_worthwhile(
+            window, gate_r, gate_s
+        ):
+            c1_gate = self.cost_model.c1(
+                window, gate_r, gate_s, buffer_size=None, enforce_buffer=False
+            )
+            outer_gate, nlsj_gate = self.cheaper_nlsj_side(window, gate_r, gate_s)
+            self.record(depth, window, "finish-small", f"c1={c1_gate:.0f}", gate_r, gate_s)
+            self._apply_cheapest(
+                window, depth, gate_r, gate_s, c1_gate, outer_gate, nlsj_gate, counts_exact
+            )
+            return
+
+        # Lines 2-7: characterise the distribution of each dataset.
+        state_r = self._characterise(
+            window, "R", count_r, known_uniform_r, depth
+        )
+        state_s = self._characterise(
+            window, "S", count_s, known_uniform_s, depth
+        )
+
+        # Line 8: strategy costs.  c4 is never estimated -- the decision to
+        # repartition is driven by the distribution, not by Eq. 8.  Unlike
+        # MobiJoin, c1 is evaluated without the hard buffer cut: the memory
+        # feasibility check happens at line 10 and an oversized-but-cheap
+        # HBSJ window is repartitioned (line 11), not pushed to NLSJ.
+        int_r = int(round(state_r.count))
+        int_s = int(round(state_s.count))
+        c1 = self.cost_model.c1(
+            window, int_r, int_s, buffer_size=None, enforce_buffer=False
+        )
+        nlsj_outer, nlsj_cost = self.cheaper_nlsj_side(window, int_r, int_s)
+        self.record(
+            depth,
+            window,
+            "plan",
+            f"c1={c1:.0f} nlsj[{nlsj_outer}]={nlsj_cost:.0f} "
+            f"uniformR={state_r.uniform} uniformS={state_s.uniform}",
+            int_r,
+            int_s,
+        )
+
+        if self.should_stop_partitioning(window, depth) or not self.refinement_worthwhile(
+            window, int_r, int_s
+        ):
+            # Further splitting cannot expose prunable space (depth limit,
+            # epsilon-scale cell, or the remaining data is cheaper than the
+            # statistics another level would need): finish the window now.
+            self._apply_cheapest(window, depth, int_r, int_s, c1, nlsj_outer, nlsj_cost,
+                                 counts_exact and state_r.count_exact and state_s.count_exact)
+            return
+
+        # Lines 9-11: HBSJ branch.
+        if c1 <= nlsj_cost:
+            if state_r.uniform and state_s.uniform and self.fits_in_buffer(int_r, int_s):
+                self.apply_hbsj(
+                    window,
+                    depth,
+                    int_r,
+                    int_s,
+                    counts_exact=counts_exact and state_r.count_exact and state_s.count_exact,
+                )
+                return
+            self._repartition(window, state_r, state_s, depth)
+            return
+
+        # Lines 12-14: NLSJ branch.  The inner relation is the one being
+        # probed (the opposite of the outer download side); per the paper it
+        # is the *larger* dataset that must be uniform for NLSJ to be safe.
+        inner_uniform = state_r.uniform if nlsj_outer == "S" else state_s.uniform
+        if inner_uniform:
+            self.apply_nlsj(window, depth, outer=nlsj_outer, count_r=int_r, count_s=int_s)
+            return
+        self._repartition(window, state_r, state_s, depth)
+
+    # ------------------------------------------------------------------ #
+    # distribution characterisation (lines 2-7 of Figure 3)
+    # ------------------------------------------------------------------ #
+
+    def _characterise(
+        self,
+        window: Rect,
+        server_name: str,
+        count: float,
+        known_uniform: bool,
+        depth: int,
+    ) -> _SideState:
+        int_count = int(round(count))
+        if known_uniform:
+            # Already characterised at an earlier step: estimate, don't query.
+            return _SideState(
+                count=count,
+                count_exact=False,
+                uniform=True,
+                quadrants=estimate_quadrant_counts(window, int_count),
+            )
+        if not worth_retrieving_statistics(int_count, self.cost_model):
+            # Line 7: too small to justify statistics; assume uniform.
+            self.record(depth, window, "assume-uniform", f"{server_name} small ({int_count})")
+            return _SideState(
+                count=count,
+                count_exact=True,
+                uniform=True,
+                quadrants=None,
+            )
+        # Lines 4-5: impose the grid and retrieve quadrant counts (R is
+        # counted on the raw quadrants, S on their epsilon-expanded query
+        # windows, consistently with the physical operators).
+        quadrants = fetch_quadrant_counts(
+            self.device,
+            server_name,
+            window,
+            int_count,
+            derive_fourth=True,
+            margin=self.predicate.window_margin if server_name.upper() == "S" else 0.0,
+        )
+        uniform = is_uniform(int_count, quadrants.counts, self.params.alpha)
+        if uniform:
+            # Line 6: confirm with one randomly located quadrant-sized COUNT.
+            u, v = self._rng.uniform(0.0, 1.0, size=2)
+            probe = window.sample_subwindow(0.5, 0.5, float(u), float(v))
+            probe_count = self.count_window(server_name, probe)
+            uniform = confirms_uniformity(int_count, probe_count, self.params.alpha)
+            self.record(
+                depth,
+                window,
+                "confirm-uniform",
+                f"{server_name}: probe={probe_count} -> {'uniform' if uniform else 'skewed'}",
+            )
+        else:
+            self.record(depth, window, "skewed", server_name)
+        return _SideState(
+            count=count,
+            count_exact=True,
+            uniform=uniform,
+            quadrants=quadrants,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _repartition(
+        self, window: Rect, state_r: _SideState, state_s: _SideState, depth: int
+    ) -> None:
+        """Lines 11/14: recurse into the four quadrants.
+
+        Quadrant counts retrieved (or estimated) during characterisation are
+        reused; a dataset that was never decomposed (small or previously
+        uniform) contributes estimated quarter counts.
+        """
+        self.device.note_repartition()
+        self.record(depth, window, "repartition", "2x2 grid")
+        quad_r = state_r.quadrants or estimate_quadrant_counts(
+            window, int(round(state_r.count))
+        )
+        quad_s = state_s.quadrants or estimate_quadrant_counts(
+            window, int(round(state_s.count))
+        )
+        for i, cell in enumerate(self.quadrants_of(window)):
+            self._recurse(
+                cell,
+                quad_r.count(i),
+                quad_s.count(i),
+                counts_exact=quad_r.is_exact(i) and quad_s.is_exact(i),
+                known_uniform_r=state_r.uniform,
+                known_uniform_s=state_s.uniform,
+                depth=depth + 1,
+            )
+
+    def _apply_cheapest(
+        self,
+        window: Rect,
+        depth: int,
+        count_r: int,
+        count_s: int,
+        c1: float,
+        nlsj_outer: str,
+        nlsj_cost: float,
+        counts_exact: bool,
+    ) -> None:
+        if c1 <= nlsj_cost and self.fits_in_buffer(count_r, count_s):
+            self.apply_hbsj(window, depth, count_r, count_s, counts_exact=counts_exact)
+        else:
+            self.apply_nlsj(window, depth, outer=nlsj_outer, count_r=count_r, count_s=count_s)

@@ -1,0 +1,47 @@
+"""Saving and loading datasets.
+
+Datasets are persisted as ``.npz`` archives holding the MBR array, the id
+array and a JSON-encoded metadata blob, so that experiment inputs can be
+archived next to their results.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.datasets.dataset import SpatialDataset
+
+__all__ = ["save_dataset", "load_dataset"]
+
+
+def save_dataset(dataset: SpatialDataset, path: Union[str, Path]) -> Path:
+    """Write a dataset to ``path`` (``.npz`` is appended when missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        mbrs=dataset.mbrs,
+        oids=dataset.oids,
+        name=np.array(dataset.name),
+        metadata=np.array(json.dumps(dataset.metadata, default=str)),
+    )
+    return path
+
+
+def load_dataset(path: Union[str, Path]) -> SpatialDataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    with np.load(path, allow_pickle=False) as archive:
+        mbrs = archive["mbrs"]
+        oids = archive["oids"]
+        name = str(archive["name"])
+        metadata = json.loads(str(archive["metadata"]))
+    return SpatialDataset(mbrs=mbrs, oids=oids, name=name, metadata=metadata)

@@ -1,0 +1,178 @@
+"""HBSJ -- the hash-based spatial join physical operator.
+
+``HBSJ(w)`` downloads every R object intersecting ``w`` and every S object
+intersecting the epsilon-expanded window, then joins them on the device
+with the PBSM-style grid-hash kernel.  When the two downloads would not fit
+in the device buffer, the operator recursively partitions ``w`` into
+quadrants, prunes empty quadrants with COUNT queries and retries -- exactly
+the "decompose the window into several subparts which can be accommodated
+in the PDA's memory" behaviour described in Sections 4.1/4.2 of the paper.
+
+Correctness over partitions (anchored-at-R scheme): for any qualifying pair
+``(r, s)`` the cell containing the contact point of ``r`` downloads ``r``
+(unexpanded R window) and ``s`` (S window grown by epsilon), so a set of
+cells that tile a region discovers every pair at least once; the global
+result set deduplicates pairs rediscovered by neighbouring cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.device.buffer import DeviceBuffer
+from repro.geometry.predicates import JoinPredicate
+from repro.geometry.rect import Rect
+from repro.index.hash_join import grid_hash_join
+from repro.server.remote import ServerPair
+
+__all__ = ["HBSJResult", "hash_based_spatial_join"]
+
+#: Safety valve against pathological inputs (e.g. more coincident points
+#: than the buffer holds); beyond this depth, or when a window becomes too
+#: small for further partitioning to separate data, the operator falls back
+#: to buffer-friendly nested-loop probing instead of splitting forever.
+MAX_RECURSION_DEPTH = 16
+
+
+@dataclass
+class HBSJResult:
+    """Outcome of one HBSJ invocation."""
+
+    pairs: List[Tuple[int, int]] = field(default_factory=list)
+    windows_joined: int = 0
+    windows_pruned: int = 0
+    recursive_splits: int = 0
+    count_queries: int = 0
+    objects_downloaded_r: int = 0
+    objects_downloaded_s: int = 0
+    nlsj_fallbacks: int = 0
+
+    def merge(self, other: "HBSJResult") -> None:
+        self.pairs.extend(other.pairs)
+        self.windows_joined += other.windows_joined
+        self.windows_pruned += other.windows_pruned
+        self.recursive_splits += other.recursive_splits
+        self.count_queries += other.count_queries
+        self.objects_downloaded_r += other.objects_downloaded_r
+        self.objects_downloaded_s += other.objects_downloaded_s
+        self.nlsj_fallbacks += other.nlsj_fallbacks
+
+
+def hash_based_spatial_join(
+    servers: ServerPair,
+    window: Rect,
+    predicate: JoinPredicate,
+    buffer: DeviceBuffer,
+    count_r: Optional[int] = None,
+    count_s: Optional[int] = None,
+    _depth: int = 0,
+) -> HBSJResult:
+    """Execute HBSJ on ``window``.
+
+    Parameters
+    ----------
+    servers:
+        Metered connections to the R and S servers.
+    window:
+        The window to join (R-side query window; the S side is expanded by
+        the predicate's margin).
+    predicate:
+        Join predicate; its ``window_margin`` drives the S-side expansion.
+    buffer:
+        The device buffer; both downloads must fit simultaneously.
+    count_r, count_s:
+        Known object counts (R over ``window``, S over the expanded window)
+        from earlier COUNT queries.  When provided they are trusted and no
+        extra COUNT is issued for the feasibility check; otherwise the
+        operator issues its own counts.
+    """
+    result = HBSJResult()
+    margin = predicate.window_margin
+    window_s = window.expanded(margin) if margin > 0 else window
+
+    if count_r is None:
+        count_r = servers.r.count(window)
+        result.count_queries += 1
+    if count_s is None:
+        count_s = servers.s.count(window_s)
+        result.count_queries += 1
+
+    if count_r == 0 or count_s == 0:
+        result.windows_pruned += 1
+        return result
+
+    if count_r + count_s <= buffer.capacity:
+        _join_in_memory(servers, window, window_s, predicate, buffer, result)
+        return result
+
+    if _depth >= MAX_RECURSION_DEPTH or _too_small_to_split(window, margin):
+        # Further splitting cannot shrink the working set (coincident points
+        # or cells already at the epsilon scale): probe instead of splitting.
+        _fallback_nested_loop(servers, window, predicate, buffer, result)
+        return result
+
+    # Too big for the buffer: split into quadrants, prune, recurse.
+    result.recursive_splits += 1
+    for quadrant in window.quadrants():
+        sub = hash_based_spatial_join(
+            servers,
+            quadrant,
+            predicate,
+            buffer,
+            count_r=None,
+            count_s=None,
+            _depth=_depth + 1,
+        )
+        result.merge(sub)
+    return result
+
+
+def _too_small_to_split(window: Rect, margin: float) -> bool:
+    """True when child cells would be dominated by the S-side expansion."""
+    if margin <= 0:
+        return False
+    return min(window.width, window.height) / 2.0 <= 2.0 * margin
+
+
+def _join_in_memory(
+    servers: ServerPair,
+    window: Rect,
+    window_s: Rect,
+    predicate: JoinPredicate,
+    buffer: DeviceBuffer,
+    result: HBSJResult,
+) -> None:
+    """Download both sides and join them on the device."""
+    r_mbrs, r_oids = servers.r.window(window)
+    s_mbrs, s_oids = servers.s.window(window_s)
+    result.objects_downloaded_r += int(r_oids.shape[0])
+    result.objects_downloaded_s += int(s_oids.shape[0])
+
+    token = buffer.allocate(int(r_oids.shape[0]) + int(s_oids.shape[0]))
+    try:
+        result.pairs.extend(grid_hash_join(r_mbrs, r_oids, s_mbrs, s_oids, predicate))
+        result.windows_joined += 1
+    finally:
+        buffer.release(token)
+
+
+def _fallback_nested_loop(
+    servers: ServerPair,
+    window: Rect,
+    predicate: JoinPredicate,
+    buffer: DeviceBuffer,
+    result: HBSJResult,
+) -> None:
+    """Finish an un-splittable, over-budget window with NLSJ probing."""
+    from repro.device.nlsj import nested_loop_spatial_join  # local: avoid cycle
+
+    nlsj = nested_loop_spatial_join(
+        servers, window, predicate, buffer, outer="R", bucket=False
+    )
+    result.pairs.extend(nlsj.pairs)
+    result.nlsj_fallbacks += 1
+    result.objects_downloaded_r += nlsj.outer_objects
+    result.objects_downloaded_s += nlsj.inner_objects_received

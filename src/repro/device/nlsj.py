@@ -1,0 +1,253 @@
+"""NLSJ -- the nested-loop spatial join physical operator.
+
+``NLSJ(w)`` downloads all objects of the *outer* dataset in the window and,
+for each of them, probes the other server with an epsilon-RANGE query
+centred on the object (Section 3: "for each hotel apply a window query on S
+to find the matching restaurants").  The bucket variant ships all probes in
+one request, saving per-probe TCP/IP header overhead (Section 3.1,
+Eqs. 5-6).
+
+Window semantics follow the anchored-at-R scheme shared with HBSJ: when the
+outer relation is R the outer download uses the unexpanded window; when the
+outer relation is S the outer download uses the window expanded by epsilon
+(so that S objects just outside the cell that still pair with R objects
+inside it are probed).  Candidates returned by a probe are always verified
+with the exact predicate, and the R partner of a reported pair must
+intersect the unexpanded window, which keeps partitioned executions exact;
+pairs rediscovered by neighbouring cells are deduplicated globally.
+
+NLSJ never holds more than the outer window in device memory and therefore
+has no buffer feasibility constraint in the paper's model; the outer
+objects are still charged against the buffer (capped at its capacity) so
+the high-water mark stays meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.device.buffer import DeviceBuffer
+from repro.geometry.point import Point
+from repro.geometry.predicates import IntersectionPredicate, JoinPredicate
+from repro.geometry.rect import Rect
+from repro.server.remote import RemoteServer, ServerPair
+
+__all__ = ["NLSJResult", "nested_loop_spatial_join"]
+
+
+@dataclass
+class NLSJResult:
+    """Outcome of one NLSJ invocation."""
+
+    pairs: List[Tuple[int, int]] = field(default_factory=list)
+    outer: str = "R"
+    outer_objects: int = 0
+    probes_sent: int = 0
+    bucket_queries: int = 0
+    inner_objects_received: int = 0
+
+    def merge(self, other: "NLSJResult") -> None:
+        self.pairs.extend(other.pairs)
+        self.outer_objects += other.outer_objects
+        self.probes_sent += other.probes_sent
+        self.bucket_queries += other.bucket_queries
+        self.inner_objects_received += other.inner_objects_received
+
+
+def nested_loop_spatial_join(
+    servers: ServerPair,
+    window: Rect,
+    predicate: JoinPredicate,
+    buffer: DeviceBuffer,
+    outer: str = "S",
+    bucket: bool = False,
+) -> NLSJResult:
+    """Execute NLSJ on ``window``.
+
+    Parameters
+    ----------
+    servers:
+        Metered connections to the R and S servers.
+    window:
+        The window to join (R-anchored; see module docstring).
+    predicate:
+        Join predicate; distance joins probe with radius epsilon,
+        intersection joins probe with the object's own MBR extent.
+    buffer:
+        Device buffer (outer batch is charged against it).
+    outer:
+        Which dataset is downloaded and iterated: ``"R"`` or ``"S"``.  The
+        paper's cost model calls these strategies ``c2`` (outer = R) and
+        ``c3`` (outer = S).
+    bucket:
+        Use the bucket range query (one request carrying all probes).
+    """
+    outer = outer.upper()
+    if outer not in ("R", "S"):
+        raise ValueError("outer must be 'R' or 'S'")
+    result = NLSJResult(outer=outer)
+
+    outer_server: RemoteServer = servers.r if outer == "R" else servers.s
+    inner_server: RemoteServer = servers.s if outer == "R" else servers.r
+
+    margin = predicate.window_margin
+    outer_window = window if outer == "R" else (
+        window.expanded(margin) if margin > 0 else window
+    )
+
+    outer_mbrs, outer_oids = outer_server.window(outer_window)
+    n_outer = int(outer_oids.shape[0])
+    result.outer_objects = n_outer
+    if n_outer == 0:
+        return result
+
+    token = buffer.allocate(min(n_outer, buffer.capacity))
+    try:
+        if bucket:
+            _probe_bucket(
+                inner_server, outer_mbrs, outer_oids, window, predicate, result, outer
+            )
+        else:
+            _probe_one_by_one(
+                inner_server, outer_mbrs, outer_oids, window, predicate, result, outer
+            )
+    finally:
+        buffer.release(token)
+    return result
+
+
+# -------------------------------------------------------------------------- #
+# probing strategies
+# -------------------------------------------------------------------------- #
+
+
+def _probe_one_by_one(
+    inner_server: RemoteServer,
+    outer_mbrs: np.ndarray,
+    outer_oids: np.ndarray,
+    window: Rect,
+    predicate: JoinPredicate,
+    result: NLSJResult,
+    outer: str,
+) -> None:
+    for row, oid in zip(outer_mbrs, outer_oids):
+        outer_rect = Rect(float(row[0]), float(row[1]), float(row[2]), float(row[3]))
+        probe_center, probe_radius = _probe_for(outer_rect, predicate)
+        inner_mbrs, inner_oids = inner_server.range(probe_center, probe_radius)
+        result.probes_sent += 1
+        result.inner_objects_received += int(inner_oids.shape[0])
+        _collect_matches(
+            outer_rect, int(oid), inner_mbrs, inner_oids, window, predicate, result, outer
+        )
+
+
+def _probe_bucket(
+    inner_server: RemoteServer,
+    outer_mbrs: np.ndarray,
+    outer_oids: np.ndarray,
+    window: Rect,
+    predicate: JoinPredicate,
+    result: NLSJResult,
+    outer: str,
+) -> None:
+    centers = [
+        Point((float(r[0]) + float(r[2])) / 2.0, (float(r[1]) + float(r[3])) / 2.0)
+        for r in outer_mbrs
+    ]
+    # Per-probe radii: each probe must cover its own MBR extent plus the
+    # join distance; a single shared radius would blow up responses when a
+    # few outer objects (long railway segments, say) are much larger than
+    # the rest.
+    half_diags = 0.5 * np.hypot(
+        outer_mbrs[:, 2] - outer_mbrs[:, 0], outer_mbrs[:, 3] - outer_mbrs[:, 1]
+    )
+    base = 0.0 if isinstance(predicate, IntersectionPredicate) else predicate.probe_radius()
+    radii = (base + half_diags).tolist()
+    radius = _bucket_radius(outer_mbrs, predicate)
+    inner_mbrs, inner_oids, probe_idx = inner_server.bucket_range(centers, radius, radii)
+    result.bucket_queries += 1
+    result.probes_sent += len(centers)
+    result.inner_objects_received += int(inner_oids.shape[0])
+    for i, oid in enumerate(outer_oids):
+        mask = probe_idx == i
+        if not np.any(mask):
+            continue
+        row = outer_mbrs[i]
+        outer_rect = Rect(float(row[0]), float(row[1]), float(row[2]), float(row[3]))
+        _collect_matches(
+            outer_rect,
+            int(oid),
+            inner_mbrs[mask],
+            inner_oids[mask],
+            window,
+            predicate,
+            result,
+            outer,
+        )
+
+
+def _collect_matches(
+    outer_rect: Rect,
+    outer_oid: int,
+    inner_mbrs: np.ndarray,
+    inner_oids: np.ndarray,
+    window: Rect,
+    predicate: JoinPredicate,
+    result: NLSJResult,
+    outer: str,
+) -> None:
+    """Verify probe candidates and report qualifying pairs.
+
+    The R partner of every reported pair must intersect the unexpanded
+    window: when the outer relation is R that holds by construction, when
+    the outer relation is S it is checked on each candidate, so a
+    partitioned execution assigns every pair to at least the cell(s) the R
+    object touches and never to unrelated cells.
+    """
+    outer_in_window = outer_rect.intersects(window)
+    for row, ioid in zip(inner_mbrs, inner_oids):
+        inner_rect = Rect(float(row[0]), float(row[1]), float(row[2]), float(row[3]))
+        if not predicate.matches(outer_rect, inner_rect):
+            continue
+        if outer == "R":
+            if not outer_in_window:
+                continue
+            result.pairs.append((outer_oid, int(ioid)))
+        else:
+            if not inner_rect.intersects(window):
+                continue
+            result.pairs.append((int(ioid), outer_oid))
+
+
+# -------------------------------------------------------------------------- #
+# probe geometry
+# -------------------------------------------------------------------------- #
+
+
+def _probe_for(outer_rect: Rect, predicate: JoinPredicate) -> Tuple[Point, float]:
+    """Centre and radius of the range probe for one outer object.
+
+    Distance joins probe with radius ``epsilon`` around the object centre;
+    for non-point MBRs the probe radius additionally covers the half
+    diagonal of the MBR so no candidate is missed (candidates are verified
+    with the exact predicate afterwards).  Intersection joins probe with a
+    radius covering the MBR itself (zero for point data).
+    """
+    center = outer_rect.center
+    half_diag = 0.5 * float(np.hypot(outer_rect.width, outer_rect.height))
+    if isinstance(predicate, IntersectionPredicate):
+        return center, half_diag
+    return center, predicate.probe_radius() + half_diag
+
+
+def _bucket_radius(outer_mbrs: np.ndarray, predicate: JoinPredicate) -> float:
+    """One radius that covers every probe of a bucket query."""
+    widths = outer_mbrs[:, 2] - outer_mbrs[:, 0]
+    heights = outer_mbrs[:, 3] - outer_mbrs[:, 1]
+    half_diag = 0.5 * float(np.hypot(widths, heights).max()) if outer_mbrs.size else 0.0
+    if isinstance(predicate, IntersectionPredicate):
+        return half_diag
+    return predicate.probe_radius() + half_diag

@@ -1,0 +1,160 @@
+"""The mobile device facade.
+
+:class:`MobileDevice` bundles everything the join algorithms need on the
+client side: the bounded buffer, the two metered server connections, the
+physical operators (HBSJ / NLSJ) and per-operator bookkeeping.  The
+algorithms in :mod:`repro.core` are written against this facade, so the
+same algorithm code runs in unit tests (tiny datasets, in-process servers)
+and in the full experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.device.buffer import DeviceBuffer
+from repro.device.hbsj import HBSJResult, hash_based_spatial_join
+from repro.device.nlsj import NLSJResult, nested_loop_spatial_join
+from repro.geometry.predicates import JoinPredicate
+from repro.geometry.rect import Rect
+from repro.network.config import NetworkConfig
+from repro.network.wifi import WifiLinkModel
+from repro.server.remote import ServerPair
+
+__all__ = ["MobileDevice", "OperatorCounts"]
+
+
+@dataclass
+class OperatorCounts:
+    """How many times each physical operator was applied, and on what."""
+
+    hbsj_invocations: int = 0
+    nlsj_invocations: int = 0
+    windows_pruned: int = 0
+    count_queries: int = 0
+    aggregate_queries: int = 0
+    repartitions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hbsj_invocations": self.hbsj_invocations,
+            "nlsj_invocations": self.nlsj_invocations,
+            "windows_pruned": self.windows_pruned,
+            "count_queries": self.count_queries,
+            "aggregate_queries": self.aggregate_queries,
+            "repartitions": self.repartitions,
+        }
+
+
+class MobileDevice:
+    """A PDA holding two metered server connections and a bounded buffer.
+
+    Parameters
+    ----------
+    servers:
+        The metered R/S connections.
+    buffer_size:
+        Buffer capacity in objects (the paper uses 100 and 800 points).
+    link:
+        Optional 802.11b timing model used for response-time estimates.
+    """
+
+    def __init__(
+        self,
+        servers: ServerPair,
+        buffer_size: int = 800,
+        link: Optional[WifiLinkModel] = None,
+    ) -> None:
+        self.servers = servers
+        self.buffer = DeviceBuffer(capacity=buffer_size)
+        self.link = link or WifiLinkModel()
+        self.counts = OperatorCounts()
+
+    # ------------------------------------------------------------------ #
+    # metered primitives (thin, counted wrappers)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def config(self) -> NetworkConfig:
+        return self.servers.r.config
+
+    def count_window(self, server_name: str, window: Rect) -> int:
+        """COUNT on one server; counted as an aggregate query."""
+        self.counts.count_queries += 1
+        server = self.servers.r if server_name.upper() == "R" else self.servers.s
+        return server.count(window)
+
+    def count_both(self, window: Rect) -> Tuple[int, int]:
+        """COUNT the window on both servers; returns ``(|Rw|, |Sw|)``."""
+        return self.count_window("R", window), self.count_window("S", window)
+
+    # ------------------------------------------------------------------ #
+    # physical operators
+    # ------------------------------------------------------------------ #
+
+    def hbsj(
+        self,
+        window: Rect,
+        predicate: JoinPredicate,
+        count_r: Optional[int] = None,
+        count_s: Optional[int] = None,
+    ) -> HBSJResult:
+        """Run hash-based spatial join on a window."""
+        self.counts.hbsj_invocations += 1
+        result = hash_based_spatial_join(
+            self.servers,
+            window,
+            predicate,
+            self.buffer,
+            count_r=count_r,
+            count_s=count_s,
+        )
+        self.counts.count_queries += result.count_queries
+        self.counts.windows_pruned += result.windows_pruned
+        return result
+
+    def nlsj(
+        self,
+        window: Rect,
+        predicate: JoinPredicate,
+        outer: str = "S",
+        bucket: bool = False,
+    ) -> NLSJResult:
+        """Run nested-loop spatial join on a window."""
+        self.counts.nlsj_invocations += 1
+        return nested_loop_spatial_join(
+            self.servers, window, predicate, self.buffer, outer=outer, bucket=bucket
+        )
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+
+    def total_bytes(self) -> int:
+        """Total wire bytes over both server connections so far."""
+        return self.servers.total_bytes()
+
+    def total_cost(self) -> float:
+        """Tariff-weighted transfer cost so far."""
+        return self.servers.total_cost()
+
+    def estimated_response_time(self) -> float:
+        """Estimated wall-clock seconds to replay all traffic over the link."""
+        return self.link.estimate_channel_time(
+            self.servers.r.channel
+        ) + self.link.estimate_channel_time(self.servers.s.channel)
+
+    def note_repartition(self) -> None:
+        """Record that an algorithm decided to repartition a window."""
+        self.counts.repartitions += 1
+
+    def note_aggregate_queries(self, n: int = 1) -> None:
+        """Record ``n`` aggregate (COUNT-style) queries issued by an algorithm."""
+        self.counts.aggregate_queries += n
+
+    def reset(self) -> None:
+        """Reset buffer, counters and both channels (fresh experiment run)."""
+        self.buffer.reset()
+        self.counts = OperatorCounts()
+        self.servers.reset()

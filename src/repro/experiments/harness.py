@@ -1,0 +1,176 @@
+"""Generic experiment machinery.
+
+An :class:`ExperimentConfig` describes a sweep: which algorithms to run,
+over which x-axis values (cluster counts, alpha values, ...), how many
+seeded repetitions to average, and how to build the workload for one
+(x-value, seed) combination.  :func:`run_experiment` executes it and
+returns an :class:`ExperimentResult` whose series can be printed as the
+paper's figures.
+
+The paper reports "the average of 10 executions with different datasets";
+the default here is 3 repetitions to keep the benchmark suite fast --
+every figure function accepts a ``repetitions`` override.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.api import AdHocJoinSession
+from repro.core.result import JoinResult
+from repro.datasets.dataset import SpatialDataset
+from repro.datasets.railway import generate_railway_like
+from repro.datasets.synthetic import clustered, uniform
+from repro.datasets.workloads import WorkloadSpec
+from repro.network.config import NetworkConfig
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "SeriesResult",
+    "build_datasets",
+    "run_experiment",
+    "run_single",
+]
+
+#: Type of a workload factory: (x_value, seed) -> (dataset_r, dataset_s, spec).
+WorkloadFactory = Callable[[object, int], Tuple[SpatialDataset, SpatialDataset, WorkloadSpec]]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """A full sweep specification."""
+
+    name: str
+    description: str
+    #: Values on the x-axis (cluster counts, alpha values, ...).
+    x_values: Tuple[object, ...]
+    x_label: str
+    #: The series: algorithm label -> run keyword arguments passed to
+    #: :meth:`AdHocJoinSession.run` (must include ``algorithm``).
+    series: Dict[str, Dict[str, object]]
+    #: Workload factory for one (x_value, seed) pair.
+    workload: WorkloadFactory
+    #: Seeds averaged per x-value.
+    seeds: Tuple[int, ...] = (0, 1, 2)
+    #: Device buffer capacity in objects.
+    buffer_size: int = 800
+    #: Wire constants / tariffs.
+    config: NetworkConfig = field(default_factory=NetworkConfig)
+    #: Build indexed (SemiJoin-capable) sessions.
+    indexed: bool = False
+
+
+@dataclass
+class SeriesResult:
+    """Measured bytes of one algorithm across the x-axis."""
+
+    label: str
+    #: Mean total bytes per x-value (parallel to ``ExperimentResult.x_values``).
+    mean_bytes: List[float] = field(default_factory=list)
+    #: Standard deviation across seeds per x-value.
+    std_bytes: List[float] = field(default_factory=list)
+    #: Mean result-pair counts (sanity signal: all series must agree).
+    mean_pairs: List[float] = field(default_factory=list)
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one full sweep."""
+
+    config: ExperimentConfig
+    series: Dict[str, SeriesResult] = field(default_factory=dict)
+    #: Raw per-run results keyed by (series label, x_value, seed).
+    runs: Dict[Tuple[str, object, int], JoinResult] = field(default_factory=dict)
+
+    def x_values(self) -> Tuple[object, ...]:
+        return self.config.x_values
+
+    def series_bytes(self, label: str) -> List[float]:
+        return self.series[label].mean_bytes
+
+    def winner_at(self, x_value: object) -> str:
+        """The cheapest series at one x-value (by mean bytes)."""
+        idx = self.config.x_values.index(x_value)
+        return min(self.series, key=lambda label: self.series[label].mean_bytes[idx])
+
+
+def build_datasets(spec: WorkloadSpec) -> Tuple[SpatialDataset, SpatialDataset]:
+    """Materialise the two datasets described by a workload spec."""
+
+    def build(kind: str, size: int, seed: int, clusters: int) -> SpatialDataset:
+        if kind == "clustered":
+            return clustered(n=size, clusters=clusters, seed=seed)
+        if kind == "uniform":
+            return uniform(n=size, seed=seed)
+        if kind == "railway":
+            return generate_railway_like(n_segments=size, seed=seed)
+        raise ValueError(f"unknown dataset kind {kind!r}")
+
+    dataset_r = build(spec.r_kind, spec.r_size, spec.seed, spec.clusters)
+    dataset_s = build(spec.s_kind, spec.s_size, spec.seed + 1000, spec.clusters)
+    return dataset_r, dataset_s
+
+
+def run_single(
+    dataset_r: SpatialDataset,
+    dataset_s: SpatialDataset,
+    spec: WorkloadSpec,
+    run_kwargs: Dict[str, object],
+    buffer_size: int,
+    config: NetworkConfig,
+    indexed: bool,
+) -> JoinResult:
+    """Run one algorithm once on a prepared workload."""
+    session = AdHocJoinSession(
+        dataset_r,
+        dataset_s,
+        buffer_size=buffer_size,
+        config=config,
+        indexed=indexed or str(run_kwargs.get("algorithm", "")).lower() == "semijoin",
+    )
+    kwargs = dict(run_kwargs)
+    kwargs.setdefault("epsilon", spec.epsilon)
+    kwargs.setdefault("bucket_queries", spec.bucket_queries)
+    return session.run(**kwargs)  # type: ignore[arg-type]
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    repetitions: Optional[int] = None,
+    keep_runs: bool = False,
+) -> ExperimentResult:
+    """Execute a sweep: every series at every x-value, averaged over seeds."""
+    seeds = config.seeds if repetitions is None else tuple(range(repetitions))
+    result = ExperimentResult(config=config)
+    for label, run_kwargs in config.series.items():
+        series = SeriesResult(label=label)
+        needs_index = (
+            config.indexed
+            or str(run_kwargs.get("algorithm", "")).lower() == "semijoin"
+        )
+        for x in config.x_values:
+            totals: List[float] = []
+            pair_counts: List[float] = []
+            for seed in seeds:
+                dataset_r, dataset_s, spec = config.workload(x, seed)
+                run = run_single(
+                    dataset_r,
+                    dataset_s,
+                    spec,
+                    run_kwargs,
+                    buffer_size=spec.buffer_size or config.buffer_size,
+                    config=config.config,
+                    indexed=needs_index,
+                )
+                totals.append(float(run.total_bytes))
+                pair_counts.append(float(run.num_pairs))
+                if keep_runs:
+                    result.runs[(label, x, seed)] = run
+            series.mean_bytes.append(statistics.fmean(totals))
+            series.std_bytes.append(statistics.pstdev(totals) if len(totals) > 1 else 0.0)
+            series.mean_pairs.append(statistics.fmean(pair_counts))
+        result.series[label] = series
+    return result

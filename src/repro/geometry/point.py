@@ -1,0 +1,63 @@
+"""Immutable 2D points.
+
+Points are the primary object type of the paper's synthetic workloads
+("1000 points ... clustered around k randomly selected centers").  A point
+carries an opaque object identifier (``oid``) so that join results can be
+reported as id pairs, plus an optional payload size override used when an
+object should be accounted with a non-default wire size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An immutable point in the unit (or any) 2D coordinate space.
+
+    Parameters
+    ----------
+    x, y:
+        Coordinates.
+    oid:
+        Object identifier.  Defaults to ``-1`` (anonymous point); dataset
+        containers always assign explicit, unique ids.
+    """
+
+    x: float
+    y: float
+    oid: int = field(default=-1, compare=False)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to another point."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def squared_distance_to(self, other: "Point") -> float:
+        """Squared Euclidean distance (avoids the sqrt on hot paths)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def within_distance(self, other: "Point", epsilon: float) -> bool:
+        """Return True when ``other`` lies within ``epsilon`` of this point."""
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        return self.squared_distance_to(other) <= epsilon * epsilon
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a new point translated by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy, self.oid)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __str__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"Point({self.x:.6g}, {self.y:.6g}, oid={self.oid})"

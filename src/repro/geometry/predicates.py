@@ -1,0 +1,122 @@
+"""Join predicates.
+
+The paper studies three join flavours:
+
+* the **intersection join** -- report pairs ``(r, s)`` whose MBRs intersect;
+* the **epsilon-distance join** -- report pairs within distance ``epsilon``;
+* the **iceberg distance semi-join** -- report objects ``r`` of ``R`` that
+  join (within ``epsilon``) with at least ``m`` objects of ``S``.
+
+The first two are pairwise predicates and are modelled here; the iceberg
+variant is a post-aggregation over a distance join and lives in
+:mod:`repro.core.join_types`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import rect_array
+from repro.geometry.rect import Rect
+
+
+class JoinPredicate(ABC):
+    """A symmetric pairwise predicate between two MBRs."""
+
+    #: How much the *inner* (S-side) window must be expanded per side so
+    #: that a window-based partitioning does not miss qualifying pairs that
+    #: straddle a cell boundary.  The reproduction anchors every pair at the
+    #: R object: R is queried with the unexpanded cell and S with the cell
+    #: grown by this margin (``epsilon`` for distance joins, 0 for
+    #: intersection joins), which guarantees that the cell containing the
+    #: pair's contact point downloads both objects.
+    window_margin: float = 0.0
+
+    @abstractmethod
+    def matches(self, a: Rect, b: Rect) -> bool:
+        """Scalar predicate between two MBRs."""
+
+    @abstractmethod
+    def matches_matrix(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """All-pairs boolean matrix between two ``(N, 4)`` MBR arrays."""
+
+    @abstractmethod
+    def probe_radius(self) -> float:
+        """Radius of the epsilon-RANGE probe NLSJ issues for one object.
+
+        An intersection join over point/MBR data degenerates to a zero
+        radius probe (a window equal to the object's MBR); a distance join
+        probes with radius epsilon.
+        """
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Human-readable description (used by traces and reports)."""
+
+
+@dataclass(frozen=True)
+class IntersectionPredicate(JoinPredicate):
+    """MBR intersection (the classical spatial-join filter step)."""
+
+    window_margin: float = 0.0
+
+    def matches(self, a: Rect, b: Rect) -> bool:
+        return a.intersects(b)
+
+    def matches_matrix(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return rect_array.pairwise_intersects(a, b)
+
+    def probe_radius(self) -> float:
+        return 0.0
+
+    def describe(self) -> str:
+        return "intersects"
+
+
+@dataclass(frozen=True)
+class WithinDistancePredicate(JoinPredicate):
+    """Distance join: minimum MBR separation at most ``epsilon``."""
+
+    epsilon: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        # ``window_margin`` is declared on the ABC as a class attribute; for
+        # the frozen dataclass we shadow it with an instance attribute.
+        object.__setattr__(self, "window_margin", self.epsilon)
+
+    def matches(self, a: Rect, b: Rect) -> bool:
+        return a.within_distance(b, self.epsilon)
+
+    def matches_matrix(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return rect_array.pairwise_within_distance(a, b, self.epsilon)
+
+    def probe_radius(self) -> float:
+        return self.epsilon
+
+    def describe(self) -> str:
+        return f"within-distance(eps={self.epsilon:g})"
+
+
+def predicate_for(kind: str, epsilon: float = 0.0) -> JoinPredicate:
+    """Factory used by the public API.
+
+    Parameters
+    ----------
+    kind:
+        ``"intersection"`` or ``"distance"`` (``"within"`` is accepted as an
+        alias for ``"distance"``).
+    epsilon:
+        Distance threshold; required (> 0 recommended) for distance joins,
+        ignored for intersection joins.
+    """
+    k = kind.lower()
+    if k in ("intersection", "intersect", "intersects"):
+        return IntersectionPredicate()
+    if k in ("distance", "within", "within-distance", "epsilon"):
+        return WithinDistancePredicate(epsilon=epsilon)
+    raise ValueError(f"unknown join predicate kind: {kind!r}")

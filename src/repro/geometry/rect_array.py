@@ -1,0 +1,210 @@
+"""Vectorised operations over ``(N, 4)`` MBR arrays.
+
+Datasets in this reproduction are stored column-major-friendly as NumPy
+arrays of shape ``(N, 4)`` with columns ``xmin, ymin, xmax, ymax``.  Points
+are simply degenerate MBRs (``xmin == xmax`` and ``ymin == ymax``).  All
+server-side filtering (window queries, counts, range queries) and the
+in-memory join kernels operate on these arrays without per-object Python
+loops, per the HPC guide's "vectorise the hot path" rule.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.geometry.rect import Rect
+
+#: dtype used for all MBR arrays.
+MBR_DTYPE = np.float64
+
+
+def empty_mbrs() -> np.ndarray:
+    """An empty ``(0, 4)`` MBR array."""
+    return np.empty((0, 4), dtype=MBR_DTYPE)
+
+
+def as_mbr_array(data: np.ndarray) -> np.ndarray:
+    """Validate and normalise an input into an ``(N, 4)`` float array.
+
+    Accepts an ``(N, 2)`` point array (expanded to degenerate MBRs) or an
+    ``(N, 4)`` MBR array.  Raises :class:`ValueError` for anything else or
+    for inverted rectangles.
+    """
+    arr = np.asarray(data, dtype=MBR_DTYPE)
+    if arr.ndim != 2:
+        raise ValueError(f"expected a 2D array, got shape {arr.shape}")
+    if arr.shape[1] == 2:
+        arr = np.hstack([arr, arr])
+    elif arr.shape[1] != 4:
+        raise ValueError(f"expected (N, 2) points or (N, 4) MBRs, got shape {arr.shape}")
+    if arr.shape[0] and (
+        np.any(arr[:, 0] > arr[:, 2]) or np.any(arr[:, 1] > arr[:, 3])
+    ):
+        raise ValueError("MBR array contains inverted rectangles")
+    return np.ascontiguousarray(arr)
+
+
+def points_to_mbrs(points: np.ndarray) -> np.ndarray:
+    """Convert an ``(N, 2)`` point array into degenerate ``(N, 4)`` MBRs."""
+    pts = np.asarray(points, dtype=MBR_DTYPE)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise ValueError(f"expected an (N, 2) point array, got shape {pts.shape}")
+    return np.ascontiguousarray(np.hstack([pts, pts]))
+
+
+def centers(mbrs: np.ndarray) -> np.ndarray:
+    """Centres of an ``(N, 4)`` MBR array as an ``(N, 2)`` array."""
+    return np.column_stack(
+        [(mbrs[:, 0] + mbrs[:, 2]) * 0.5, (mbrs[:, 1] + mbrs[:, 3]) * 0.5]
+    )
+
+
+def areas(mbrs: np.ndarray) -> np.ndarray:
+    """Areas of an ``(N, 4)`` MBR array."""
+    return (mbrs[:, 2] - mbrs[:, 0]) * (mbrs[:, 3] - mbrs[:, 1])
+
+
+def bounding_rect(mbrs: np.ndarray) -> Rect:
+    """Minimum bounding rectangle of a non-empty MBR array."""
+    if mbrs.shape[0] == 0:
+        raise ValueError("cannot bound an empty MBR array")
+    return Rect(
+        float(mbrs[:, 0].min()),
+        float(mbrs[:, 1].min()),
+        float(mbrs[:, 2].max()),
+        float(mbrs[:, 3].max()),
+    )
+
+
+def intersects_window(mbrs: np.ndarray, window: Rect) -> np.ndarray:
+    """Boolean mask of MBRs intersecting a (closed) window."""
+    if mbrs.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    return ~(
+        (mbrs[:, 2] < window.xmin)
+        | (mbrs[:, 0] > window.xmax)
+        | (mbrs[:, 3] < window.ymin)
+        | (mbrs[:, 1] > window.ymax)
+    )
+
+
+def count_in_window(mbrs: np.ndarray, window: Rect) -> int:
+    """Number of MBRs intersecting the window (the COUNT primitive)."""
+    return int(np.count_nonzero(intersects_window(mbrs, window)))
+
+
+def contained_in_window(mbrs: np.ndarray, window: Rect) -> np.ndarray:
+    """Boolean mask of MBRs fully contained in the window."""
+    if mbrs.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    return (
+        (mbrs[:, 0] >= window.xmin)
+        & (mbrs[:, 1] >= window.ymin)
+        & (mbrs[:, 2] <= window.xmax)
+        & (mbrs[:, 3] <= window.ymax)
+    )
+
+
+def min_distance_to_point(mbrs: np.ndarray, x: float, y: float) -> np.ndarray:
+    """Minimum Euclidean distance from each MBR to the point ``(x, y)``."""
+    if mbrs.shape[0] == 0:
+        return np.zeros(0, dtype=MBR_DTYPE)
+    dx = np.maximum(np.maximum(mbrs[:, 0] - x, 0.0), x - mbrs[:, 2])
+    dy = np.maximum(np.maximum(mbrs[:, 1] - y, 0.0), y - mbrs[:, 3])
+    return np.hypot(dx, dy)
+
+
+def within_distance_of_point(
+    mbrs: np.ndarray, x: float, y: float, epsilon: float
+) -> np.ndarray:
+    """Boolean mask of MBRs whose minimum distance to ``(x, y)`` is <= epsilon."""
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    if mbrs.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    dx = np.maximum(np.maximum(mbrs[:, 0] - x, 0.0), x - mbrs[:, 2])
+    dy = np.maximum(np.maximum(mbrs[:, 1] - y, 0.0), y - mbrs[:, 3])
+    return dx * dx + dy * dy <= epsilon * epsilon
+
+
+def min_distance_to_rect(mbrs: np.ndarray, rect: Rect) -> np.ndarray:
+    """Minimum Euclidean distance from each MBR to a rectangle."""
+    if mbrs.shape[0] == 0:
+        return np.zeros(0, dtype=MBR_DTYPE)
+    dx = np.maximum(np.maximum(mbrs[:, 0] - rect.xmax, 0.0), rect.xmin - mbrs[:, 2])
+    dy = np.maximum(np.maximum(mbrs[:, 1] - rect.ymax, 0.0), rect.ymin - mbrs[:, 3])
+    return np.hypot(dx, dy)
+
+
+def pairwise_intersects(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """All-pairs intersection test between two MBR arrays.
+
+    Returns a boolean matrix of shape ``(len(a), len(b))``.  Used only by
+    small in-memory joins and by the brute-force oracle in the tests; the
+    production kernels use plane sweep / grid hashing instead.
+    """
+    if a.shape[0] == 0 or b.shape[0] == 0:
+        return np.zeros((a.shape[0], b.shape[0]), dtype=bool)
+    ax0, ay0, ax1, ay1 = (a[:, i][:, None] for i in range(4))
+    bx0, by0, bx1, by1 = (b[:, i][None, :] for i in range(4))
+    return ~((ax1 < bx0) | (bx1 < ax0) | (ay1 < by0) | (by1 < ay0))
+
+
+def pairwise_within_distance(a: np.ndarray, b: np.ndarray, epsilon: float) -> np.ndarray:
+    """All-pairs epsilon-distance test between two MBR arrays.
+
+    The distance between two MBRs is their minimum separation; intersecting
+    MBRs are at distance zero.  Returns a boolean matrix of shape
+    ``(len(a), len(b))``.
+    """
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    if a.shape[0] == 0 or b.shape[0] == 0:
+        return np.zeros((a.shape[0], b.shape[0]), dtype=bool)
+    ax0, ay0, ax1, ay1 = (a[:, i][:, None] for i in range(4))
+    bx0, by0, bx1, by1 = (b[:, i][None, :] for i in range(4))
+    dx = np.maximum(np.maximum(ax0 - bx1, 0.0), bx0 - ax1)
+    dy = np.maximum(np.maximum(ay0 - by1, 0.0), by0 - ay1)
+    return dx * dx + dy * dy <= epsilon * epsilon
+
+
+def expand(mbrs: np.ndarray, margin: float) -> np.ndarray:
+    """Return a copy of the MBR array grown by ``margin`` on every side."""
+    if margin < 0:
+        raise ValueError("margin must be non-negative")
+    out = mbrs.copy()
+    out[:, 0] -= margin
+    out[:, 1] -= margin
+    out[:, 2] += margin
+    out[:, 3] += margin
+    return out
+
+
+def split_by_grid(
+    mbrs: np.ndarray, window: Rect, kx: int, ky: int
+) -> Tuple[np.ndarray, ...]:
+    """Assign each MBR centre to a cell of a ``kx x ky`` grid over ``window``.
+
+    Returns a tuple of index arrays, one per cell in row-major order from
+    the bottom-left cell, partitioning ``range(len(mbrs))`` by the grid cell
+    containing each MBR's centre (centre-based declustering; replication-
+    free, used only for diagnostics -- the join algorithms themselves use
+    intersection-based windows served by the servers).
+    """
+    if kx < 1 or ky < 1:
+        raise ValueError("grid dimensions must be >= 1")
+    n = mbrs.shape[0]
+    if n == 0:
+        return tuple(np.empty(0, dtype=np.intp) for _ in range(kx * ky))
+    c = centers(mbrs)
+    fx = np.clip(((c[:, 0] - window.xmin) / max(window.width, 1e-300)) * kx, 0, kx - 1)
+    fy = np.clip(((c[:, 1] - window.ymin) / max(window.height, 1e-300)) * ky, 0, ky - 1)
+    cell = fy.astype(np.intp) * kx + fx.astype(np.intp)
+    order = np.argsort(cell, kind="stable")
+    sorted_cells = cell[order]
+    boundaries = np.searchsorted(sorted_cells, np.arange(kx * ky + 1))
+    return tuple(
+        order[boundaries[i] : boundaries[i + 1]] for i in range(kx * ky)
+    )

@@ -1,0 +1,75 @@
+"""Reference-point duplicate avoidance.
+
+Partition-based spatial joins replicate objects into every cell their MBR
+(or epsilon-expanded window) intersects, so the same qualifying pair can be
+produced by several cells.  The paper cites the standard remedy
+(Dittrich & Seeger, ICDE 2000): report a pair only from the cell that
+contains a canonical *reference point* of the pair -- here the bottom-left
+corner of the intersection of the two (expanded) MBRs.
+
+The mobile-join algorithms use this rule when they process a window that
+was expanded by ``epsilon/2`` for a distance join, and the in-memory
+PBSM-style hash join uses it across its internal grid cells.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+def reference_point(a: Rect, b: Rect) -> Optional[Point]:
+    """Bottom-left corner of ``a ∩ b``, or ``None`` when the MBRs are disjoint."""
+    inter = a.intersection(b)
+    if inter is None:
+        return None
+    return Point(inter.xmin, inter.ymin)
+
+
+def pair_reference_point(a: Rect, b: Rect, epsilon: float = 0.0) -> Point:
+    """Canonical reference point for a (possibly distance-) joining pair.
+
+    For intersecting MBRs this is the bottom-left corner of the overlap.
+    For a distance join the MBRs may be disjoint yet within ``epsilon``; in
+    that case the reference point is the midpoint of the segment realising
+    the minimum separation, which is unique and symmetric in ``a``/``b``.
+    """
+    rp = reference_point(a, b)
+    if rp is not None:
+        return rp
+    if epsilon <= 0:
+        raise ValueError("disjoint MBRs only have a reference point for epsilon > 0")
+    # Closest coordinates on each axis.
+    ax = _closest_interval_point(a.xmin, a.xmax, b.xmin, b.xmax)
+    ay = _closest_interval_point(a.ymin, a.ymax, b.ymin, b.ymax)
+    bx = _closest_interval_point(b.xmin, b.xmax, a.xmin, a.xmax)
+    by = _closest_interval_point(b.ymin, b.ymax, a.ymin, a.ymax)
+    return Point((ax + bx) / 2.0, (ay + by) / 2.0)
+
+
+def belongs_to_cell(a: Rect, b: Rect, cell: Rect, epsilon: float = 0.0) -> bool:
+    """True when ``cell`` is the canonical reporting cell for the pair ``(a, b)``.
+
+    The pair is reported by the cell that contains its reference point.
+    A pair whose reference point lies outside every processed cell (possible
+    only when the processed cells do not tile the data space) is reported by
+    no cell; callers that partition the full data space never lose pairs.
+    """
+    return cell.contains_point(pair_reference_point(a, b, epsilon))
+
+
+def dedup_key(a_oid: int, b_oid: int) -> Tuple[int, int]:
+    """Canonical (hashable) identity of a joining pair, used by result sets."""
+    return (a_oid, b_oid)
+
+
+def _closest_interval_point(lo: float, hi: float, other_lo: float, other_hi: float) -> float:
+    """The point of ``[lo, hi]`` closest to the interval ``[other_lo, other_hi]``."""
+    if hi < other_lo:
+        return hi
+    if other_hi < lo:
+        return lo
+    # Overlapping intervals: any common point works; use the left end of the overlap.
+    return max(lo, other_lo)

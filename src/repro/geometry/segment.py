@@ -1,0 +1,73 @@
+"""Line segments.
+
+Segments are used by the railway-like dataset generator
+(:mod:`repro.datasets.railway`): the paper's real dataset consists of the
+MBRs of German railway segments.  Only the operations needed by the
+generator and by MBR extraction are provided.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """A straight line segment between two endpoints."""
+
+    p1: Point
+    p2: Point
+    oid: int = field(default=-1, compare=False)
+
+    @property
+    def length(self) -> float:
+        return self.p1.distance_to(self.p2)
+
+    def mbr(self) -> Rect:
+        """Minimum bounding rectangle of the segment."""
+        return Rect(
+            min(self.p1.x, self.p2.x),
+            min(self.p1.y, self.p2.y),
+            max(self.p1.x, self.p2.x),
+            max(self.p1.y, self.p2.y),
+        )
+
+    def midpoint(self) -> Point:
+        return Point((self.p1.x + self.p2.x) / 2.0, (self.p1.y + self.p2.y) / 2.0)
+
+    def interpolate(self, t: float) -> Point:
+        """Point at parameter ``t`` in [0, 1] along the segment."""
+        if not 0.0 <= t <= 1.0:
+            raise ValueError("t must lie in [0, 1]")
+        return Point(
+            self.p1.x + t * (self.p2.x - self.p1.x),
+            self.p1.y + t * (self.p2.y - self.p1.y),
+        )
+
+    def split(self, pieces: int) -> List["Segment"]:
+        """Split the segment into ``pieces`` equal sub-segments."""
+        if pieces < 1:
+            raise ValueError("pieces must be >= 1")
+        points = [self.interpolate(i / pieces) for i in range(pieces + 1)]
+        return [Segment(points[i], points[i + 1]) for i in range(pieces)]
+
+    def distance_to_point(self, p: Point) -> float:
+        """Minimum distance from the segment to a point."""
+        vx = self.p2.x - self.p1.x
+        vy = self.p2.y - self.p1.y
+        wx = p.x - self.p1.x
+        wy = p.y - self.p1.y
+        seg_len_sq = vx * vx + vy * vy
+        if seg_len_sq == 0.0:
+            return self.p1.distance_to(p)
+        t = max(0.0, min(1.0, (wx * vx + wy * vy) / seg_len_sq))
+        proj = Point(self.p1.x + t * vx, self.p1.y + t * vy)
+        return proj.distance_to(p)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"Segment({self.p1} -> {self.p2})"

@@ -1,0 +1,175 @@
+"""Byte-accounting channels.
+
+A :class:`Channel` represents the (logical) connection between the mobile
+device and one server.  Every request and response is passed through
+:meth:`Channel.send_query` / :meth:`Channel.send_response`, which packetise
+the payload with Eq. 1 and accumulate:
+
+* raw wire bytes (the metric plotted in every figure of the paper), and
+* tariff-weighted cost (``bytes * b_X``), which is what the algorithms
+  minimise when ``b_R != b_S``.
+
+Channels are the *measurement* layer: algorithms may estimate costs with
+the planning model in :mod:`repro.core.costmodel`, but all reported totals
+come from here.  A :class:`TrafficLog` optionally keeps a per-message trace
+for debugging and for the protocol-level discrete-event simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.network.config import NetworkConfig
+from repro.network.messages import Message, MessageKind
+from repro.network.packets import num_packets, transferred_bytes
+
+__all__ = ["Channel", "TrafficLog", "TrafficRecord"]
+
+
+@dataclass(frozen=True)
+class TrafficRecord:
+    """One logged message."""
+
+    direction: str  # "up" (device -> server) or "down" (server -> device)
+    kind: MessageKind
+    payload_bytes: int
+    wire_bytes: int
+    packets: int
+    label: str = ""
+
+
+@dataclass
+class TrafficLog:
+    """Optional per-message trace of a channel."""
+
+    records: List[TrafficRecord] = field(default_factory=list)
+    enabled: bool = True
+
+    def add(self, record: TrafficRecord) -> None:
+        if self.enabled:
+            self.records.append(record)
+
+    def count_by_kind(self) -> Dict[MessageKind, int]:
+        out: Dict[MessageKind, int] = {}
+        for rec in self.records:
+            out[rec.kind] = out.get(rec.kind, 0) + 1
+        return out
+
+    def bytes_by_kind(self) -> Dict[MessageKind, int]:
+        out: Dict[MessageKind, int] = {}
+        for rec in self.records:
+            out[rec.kind] = out.get(rec.kind, 0) + rec.wire_bytes
+        return out
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class Channel:
+    """Accounting conduit between the device and one server.
+
+    Parameters
+    ----------
+    config:
+        Wire-level constants.
+    tariff:
+        Per-byte price of this connection (``b_R`` or ``b_S``).
+    name:
+        Server name for reports (conventionally ``"R"`` or ``"S"``).
+    log:
+        Optional traffic log; a fresh (enabled) log is created by default.
+    """
+
+    def __init__(
+        self,
+        config: NetworkConfig,
+        tariff: float = 1.0,
+        name: str = "server",
+        log: Optional[TrafficLog] = None,
+    ) -> None:
+        if tariff < 0:
+            raise ValueError("tariff must be non-negative")
+        self.config = config
+        self.tariff = tariff
+        self.name = name
+        self.log = log if log is not None else TrafficLog()
+        self.uplink_bytes = 0
+        self.downlink_bytes = 0
+        self.uplink_packets = 0
+        self.downlink_packets = 0
+        self.messages_up = 0
+        self.messages_down = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_bytes(self) -> int:
+        """Total wire bytes moved in both directions."""
+        return self.uplink_bytes + self.downlink_bytes
+
+    @property
+    def total_cost(self) -> float:
+        """Tariff-weighted cost of all traffic."""
+        return self.total_bytes * self.tariff
+
+    def send_query(self, message: Message, label: str = "") -> int:
+        """Account an uplink message; returns its wire bytes."""
+        wire = self._account(message, direction="up", label=label)
+        self.messages_up += 1
+        return wire
+
+    def send_response(self, message: Message, label: str = "") -> int:
+        """Account a downlink message; returns its wire bytes."""
+        wire = self._account(message, direction="down", label=label)
+        self.messages_down += 1
+        return wire
+
+    def snapshot(self) -> Dict[str, float]:
+        """A summary dictionary (used by results and reports)."""
+        return {
+            "name": self.name,
+            "uplink_bytes": self.uplink_bytes,
+            "downlink_bytes": self.downlink_bytes,
+            "total_bytes": self.total_bytes,
+            "uplink_packets": self.uplink_packets,
+            "downlink_packets": self.downlink_packets,
+            "messages_up": self.messages_up,
+            "messages_down": self.messages_down,
+            "tariff": self.tariff,
+            "total_cost": self.total_cost,
+        }
+
+    def reset(self) -> None:
+        """Zero all counters and clear the log."""
+        self.uplink_bytes = 0
+        self.downlink_bytes = 0
+        self.uplink_packets = 0
+        self.downlink_packets = 0
+        self.messages_up = 0
+        self.messages_down = 0
+        self.log.clear()
+
+    # ------------------------------------------------------------------ #
+
+    def _account(self, message: Message, direction: str, label: str) -> int:
+        payload = message.payload_bytes(self.config)
+        wire = transferred_bytes(payload, self.config)
+        packets = num_packets(payload, self.config)
+        if direction == "up":
+            self.uplink_bytes += wire
+            self.uplink_packets += packets
+        else:
+            self.downlink_bytes += wire
+            self.downlink_packets += packets
+        self.log.add(
+            TrafficRecord(
+                direction=direction,
+                kind=message.kind,
+                payload_bytes=payload,
+                wire_bytes=wire,
+                packets=packets,
+                label=label,
+            )
+        )
+        return wire

@@ -1,0 +1,65 @@
+"""Packetisation model (Equation 1 of the paper).
+
+When ``B_D`` payload bytes are shipped over the network they are cut into
+packets of at most ``MTU - B_H`` payload bytes each, and every packet pays
+``B_H`` bytes of TCP/IP headers:
+
+    TB(B_D) = B_D + B_H * ceil(B_D / (MTU - B_H))            (Eq. 1)
+
+These helpers convert logical payload sizes into wire bytes.  Every byte
+count reported by the experiments, and every estimate of the planning cost
+model, goes through :func:`transferred_bytes`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.network.config import NetworkConfig
+
+__all__ = [
+    "num_packets",
+    "transferred_bytes",
+    "object_payload_bytes",
+    "query_bytes",
+    "aggregate_answer_bytes",
+]
+
+
+def num_packets(payload_bytes: int, config: NetworkConfig) -> int:
+    """Number of packets needed for ``payload_bytes`` of payload.
+
+    A zero-byte payload still needs no packets (the acknowledgement that
+    would carry it is accounted by the message that triggered it).
+    """
+    if payload_bytes < 0:
+        raise ValueError("payload_bytes must be non-negative")
+    if payload_bytes == 0:
+        return 0
+    return math.ceil(payload_bytes / config.payload_per_packet)
+
+
+def transferred_bytes(payload_bytes: int, config: NetworkConfig) -> int:
+    """Wire bytes for a payload: Eq. 1, ``TB(B_D)``."""
+    return payload_bytes + config.header_bytes * num_packets(payload_bytes, config)
+
+
+def object_payload_bytes(num_objects: int, config: NetworkConfig) -> int:
+    """Payload bytes of ``num_objects`` spatial objects (``|D| * B_obj``)."""
+    if num_objects < 0:
+        raise ValueError("num_objects must be non-negative")
+    return num_objects * config.object_bytes
+
+
+def query_bytes(config: NetworkConfig) -> int:
+    """Wire bytes of a single query message (``B_H + B_Q``).
+
+    The paper charges a query as one header plus the query string; queries
+    are small enough to always fit a single packet.
+    """
+    return config.header_bytes + config.query_bytes
+
+
+def aggregate_answer_bytes(config: NetworkConfig) -> int:
+    """Wire bytes of a single aggregate answer (``B_H + B_A``)."""
+    return config.header_bytes + config.answer_bytes

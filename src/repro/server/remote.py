@@ -1,0 +1,308 @@
+"""Metered client-side proxies for remote servers.
+
+The mobile device never talks to a :class:`~repro.server.server.SpatialServer`
+directly; it holds a :class:`RemoteServer`, which forwards every call over
+a byte-accounting :class:`~repro.network.channel.Channel`:
+
+* the request is accounted on the uplink (query string, plus probe objects
+  for bucket range queries),
+* the response is accounted on the downlink (objects or a scalar).
+
+``RemoteServer`` therefore *is* the measurement harness: the byte totals of
+every experiment are read off its channels after the join finishes.
+
+:class:`IndexedRemoteServer` additionally exposes the R-tree level MBRs and
+a "forwarded window" operation; only the SemiJoin comparator uses it (the
+paper assumes R-tree-published servers for that algorithm alone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.network.channel import Channel
+from repro.network.config import NetworkConfig
+from repro.network.messages import (
+    AggregateQuery,
+    BucketRangeQuery,
+    CountQuery,
+    ObjectPayload,
+    RangeQuery,
+    ScalarResponse,
+    WindowQuery,
+)
+from repro.server.interface import SpatialServerInterface
+from repro.server.server import SpatialServer
+
+__all__ = ["RemoteServer", "IndexedRemoteServer", "ServerPair"]
+
+
+class RemoteServer(SpatialServerInterface):
+    """A metered proxy in front of a :class:`SpatialServer`.
+
+    Parameters
+    ----------
+    server:
+        The backing server.
+    channel:
+        The accounting channel for this connection.  One channel per
+        server; the experiment reads the totals from it.
+    """
+
+    def __init__(self, server: SpatialServer, channel: Channel) -> None:
+        self._server = server
+        self.channel = channel
+        self.name = server.name
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def config(self) -> NetworkConfig:
+        return self.channel.config
+
+    @property
+    def tariff(self) -> float:
+        return self.channel.tariff
+
+    @property
+    def backing_server(self) -> SpatialServer:
+        """The server behind the proxy (tests and oracles only)."""
+        return self._server
+
+    # ------------------------------------------------------------------ #
+    # metered primitive queries
+    # ------------------------------------------------------------------ #
+
+    def window(self, window: Rect) -> Tuple[np.ndarray, np.ndarray]:
+        self.channel.send_query(WindowQuery(window), label="window")
+        mbrs, oids = self._server.window(window)
+        self.channel.send_response(ObjectPayload(mbrs, oids), label="window-result")
+        return mbrs, oids
+
+    def count(self, window: Rect) -> int:
+        self.channel.send_query(CountQuery(window), label="count")
+        value = self._server.count(window)
+        self.channel.send_response(ScalarResponse(float(value)), label="count-result")
+        return value
+
+    def range(self, center: Point, epsilon: float) -> Tuple[np.ndarray, np.ndarray]:
+        self.channel.send_query(RangeQuery(center, epsilon), label="range")
+        mbrs, oids = self._server.range(center, epsilon)
+        self.channel.send_response(ObjectPayload(mbrs, oids), label="range-result")
+        return mbrs, oids
+
+    def bucket_range(
+        self,
+        centers: Sequence[Point],
+        epsilon: float,
+        radii: Optional[Sequence[float]] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        centers = tuple(centers)
+        radii_tuple = tuple(float(r) for r in radii) if radii is not None else None
+        self.channel.send_query(
+            BucketRangeQuery(centers, epsilon, radii_tuple), label="bucket-range"
+        )
+        mbrs, oids, probes = self._server.bucket_range(centers, epsilon, radii_tuple)
+        # Eq. 5 of the paper charges one extra object-sized separator per
+        # probe in the bucket response (the "+ Bobj" term).
+        self.channel.send_response(
+            ObjectPayload(mbrs, oids, per_probe_overhead_objects=len(centers)),
+            label="bucket-range-result",
+        )
+        return mbrs, oids, probes
+
+    def average_mbr_area(self, window: Rect) -> float:
+        self.channel.send_query(AggregateQuery(window, "avg_mbr_area"), label="aggregate")
+        value = self._server.average_mbr_area(window)
+        self.channel.send_response(ScalarResponse(value), label="aggregate-result")
+        return value
+
+    # ------------------------------------------------------------------ #
+
+    def total_bytes(self) -> int:
+        """Total wire bytes moved over this connection so far."""
+        return self.channel.total_bytes
+
+    def total_cost(self) -> float:
+        """Tariff-weighted cost of this connection so far."""
+        return self.channel.total_cost
+
+
+class IndexedRemoteServer(RemoteServer):
+    """A remote server that additionally publishes its R-tree (SemiJoin only).
+
+    The paper's SemiJoin comparator assumes both datasets are R-tree
+    indexed and that the intermediate-level MBRs can be shipped between the
+    servers (through the PDA, since the servers do not cooperate).  Those
+    privileged operations are metered exactly like ordinary queries.
+    """
+
+    def tree_height(self) -> int:
+        """Height of the server's R-tree (metadata; accounted as an aggregate)."""
+        self.channel.send_query(
+            AggregateQuery(self._server.dataset.bounds(), "count"), label="tree-height"
+        )
+        height = self._server.index.rtree.height
+        self.channel.send_response(ScalarResponse(float(height)), label="tree-height-result")
+        return height
+
+    def object_count(self) -> int:
+        """Total object count (metadata; accounted as an aggregate exchange)."""
+        self.channel.send_query(
+            AggregateQuery(self._server.dataset.bounds(), "count"), label="size"
+        )
+        n = len(self._server.dataset)
+        self.channel.send_response(ScalarResponse(float(n)), label="size-result")
+        return n
+
+    def level_mbrs(self) -> List[Rect]:
+        """Download the MBRs of the second-to-last R-tree level.
+
+        The response is accounted as one object payload whose size is the
+        number of MBRs (an MBR weighs one ``B_obj``, like any other spatial
+        object on the wire).
+        """
+        self.channel.send_query(
+            AggregateQuery(self._server.dataset.bounds(), "count"), label="level-mbrs"
+        )
+        rects = self._server.index.rtree.second_to_last_level_mbrs()
+        if rects:
+            mbrs = np.array([r.as_tuple() for r in rects], dtype=np.float64)
+        else:
+            mbrs = np.empty((0, 4))
+        oids = np.arange(mbrs.shape[0], dtype=np.int64)
+        self.channel.send_response(ObjectPayload(mbrs, oids), label="level-mbrs-result")
+        return rects
+
+    def upload_windows_and_collect(
+        self, windows: Sequence[Rect]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Ship a batch of windows (MBRs) to the server; get back all objects inside.
+
+        This is the SemiJoin step "all the objects of R inside these MBRs
+        will be transferred back" with the PDA acting as mediator: the
+        upload is charged as an object payload (one ``B_obj`` per MBR) and
+        the response as a normal object payload.  Duplicate objects that
+        fall in several windows are returned once (the server deduplicates
+        before shipping, as the original algorithm does).
+        """
+        if not windows:
+            return np.empty((0, 4)), np.empty(0, dtype=np.int64)
+        win_arr = np.array([w.as_tuple() for w in windows], dtype=np.float64)
+        self.channel.send_query(
+            BucketRangeQuery(tuple(Point(float(w[0]), float(w[1])) for w in win_arr), 0.0),
+            label="semijoin-windows",
+        )
+        # The probe payload above only accounts the query string + one
+        # object per window; exactly what shipping the MBR list costs.
+        seen: set[int] = set()
+        mbr_rows: List[np.ndarray] = []
+        oid_rows: List[int] = []
+        for w in windows:
+            mbrs, oids = self._server.window(w)
+            for row, oid in zip(mbrs, oids):
+                if int(oid) in seen:
+                    continue
+                seen.add(int(oid))
+                mbr_rows.append(row)
+                oid_rows.append(int(oid))
+        mbrs_out = np.array(mbr_rows, dtype=np.float64) if mbr_rows else np.empty((0, 4))
+        oids_out = np.asarray(oid_rows, dtype=np.int64)
+        self.channel.send_response(
+            ObjectPayload(mbrs_out, oids_out), label="semijoin-objects"
+        )
+        return mbrs_out, oids_out
+
+    def upload_objects_and_join(
+        self,
+        mbrs: np.ndarray,
+        oids: np.ndarray,
+        epsilon: float,
+    ) -> List[Tuple[int, int]]:
+        """Ship foreign objects to this server and let it perform the final join.
+
+        This is SemiJoin's last step: the qualifying objects of the small
+        dataset are uploaded (through the PDA) and the server joins them
+        against its own data with an in-memory kernel, returning
+        ``(foreign_oid, local_oid)`` pairs.  The upload is charged as an
+        object payload, the result as one object-sized row per pair.
+        """
+        from repro.geometry.predicates import (  # local import: avoids a cycle
+            IntersectionPredicate,
+            WithinDistancePredicate,
+        )
+        from repro.index.hash_join import grid_hash_join
+
+        if mbrs.shape[0] == 0:
+            return []
+        self.channel.send_query(
+            BucketRangeQuery(
+                tuple(
+                    Point(float((m[0] + m[2]) / 2.0), float((m[1] + m[3]) / 2.0))
+                    for m in mbrs
+                ),
+                max(epsilon, 0.0),
+            ),
+            label="semijoin-upload",
+        )
+        predicate = (
+            WithinDistancePredicate(epsilon=epsilon)
+            if epsilon > 0
+            else IntersectionPredicate()
+        )
+        local = self._server.dataset
+        pairs = grid_hash_join(
+            mbrs, oids, local.mbrs, local.oids, predicate
+        )
+        result_mbrs = np.zeros((len(pairs), 4), dtype=np.float64)
+        result_oids = np.arange(len(pairs), dtype=np.int64)
+        self.channel.send_response(
+            ObjectPayload(result_mbrs, result_oids), label="semijoin-result"
+        )
+        return pairs
+
+
+@dataclass
+class ServerPair:
+    """The two metered connections a join session holds.
+
+    ``r`` and ``s`` follow the paper's naming: the join is ``R join S``.
+    """
+
+    r: RemoteServer
+    s: RemoteServer
+
+    def total_bytes(self) -> int:
+        """Total wire bytes over both connections (the figures' metric)."""
+        return self.r.total_bytes() + self.s.total_bytes()
+
+    def total_cost(self) -> float:
+        """Tariff-weighted total cost (what the algorithms minimise)."""
+        return self.r.total_cost() + self.s.total_cost()
+
+    def reset(self) -> None:
+        self.r.channel.reset()
+        self.s.channel.reset()
+
+    def swapped(self) -> "ServerPair":
+        """The pair with roles exchanged (used by symmetric code paths)."""
+        return ServerPair(r=self.s, s=self.r)
+
+    @staticmethod
+    def connect(
+        server_r: SpatialServer,
+        server_s: SpatialServer,
+        config: Optional[NetworkConfig] = None,
+        indexed: bool = False,
+    ) -> "ServerPair":
+        """Create metered connections to two servers with a shared config."""
+        config = config or NetworkConfig()
+        proxy_cls = IndexedRemoteServer if indexed else RemoteServer
+        chan_r = Channel(config, tariff=config.tariff_r, name=server_r.name)
+        chan_s = Channel(config, tariff=config.tariff_s, name=server_s.name)
+        return ServerPair(r=proxy_cls(server_r, chan_r), s=proxy_cls(server_s, chan_s))

@@ -1,0 +1,162 @@
+"""The spatial server proper.
+
+A :class:`SpatialServer` owns one :class:`~repro.datasets.dataset.SpatialDataset`
+and answers the primitive queries from an aggregate R-tree (COUNT and the
+area aggregate) and from its underlying R-tree (WINDOW, RANGE).  The server
+also keeps simple query statistics, which the experiments report to show
+how many aggregate vs. data queries each algorithm issued.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.dataset import SpatialDataset
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.aggregate_rtree import AggregateRTree
+from repro.server.interface import SpatialServerInterface
+
+__all__ = ["SpatialServer", "ServerQueryStats"]
+
+
+@dataclass
+class ServerQueryStats:
+    """Counters of queries answered by a server."""
+
+    window_queries: int = 0
+    count_queries: int = 0
+    range_queries: int = 0
+    bucket_range_queries: int = 0
+    bucket_range_probes: int = 0
+    aggregate_queries: int = 0
+    objects_returned: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "window_queries": self.window_queries,
+            "count_queries": self.count_queries,
+            "range_queries": self.range_queries,
+            "bucket_range_queries": self.bucket_range_queries,
+            "bucket_range_probes": self.bucket_range_probes,
+            "aggregate_queries": self.aggregate_queries,
+            "objects_returned": self.objects_returned,
+        }
+
+    def reset(self) -> None:
+        self.window_queries = 0
+        self.count_queries = 0
+        self.range_queries = 0
+        self.bucket_range_queries = 0
+        self.bucket_range_probes = 0
+        self.aggregate_queries = 0
+        self.objects_returned = 0
+
+
+class SpatialServer(SpatialServerInterface):
+    """An index-backed, non-cooperative spatial data server.
+
+    Parameters
+    ----------
+    dataset:
+        The published dataset.
+    name:
+        Server name used in traces (conventionally ``"R"`` or ``"S"``).
+    index_fanout:
+        Fanout of the internal aggregate R-tree.
+    """
+
+    def __init__(
+        self, dataset: SpatialDataset, name: str = "server", index_fanout: int = 16
+    ) -> None:
+        self.dataset = dataset
+        self.name = name
+        self.stats = ServerQueryStats()
+        self._index = AggregateRTree(dataset.entries(), max_entries=index_fanout)
+        # Dense oid -> row lookup for assembling result payloads.
+        self._row_of: Dict[int, int] = {
+            int(oid): i for i, oid in enumerate(dataset.oids)
+        }
+
+    def __len__(self) -> int:
+        return len(self.dataset)
+
+    @property
+    def index(self) -> AggregateRTree:
+        """The internal index.
+
+        This is *server private* state: the mobile-join algorithms never
+        touch it.  Only the SemiJoin comparator (via
+        :class:`~repro.server.remote.IndexedRemoteServer`) and the tests
+        read it.
+        """
+        return self._index
+
+    # ------------------------------------------------------------------ #
+    # primitive queries
+    # ------------------------------------------------------------------ #
+
+    def window(self, window: Rect) -> Tuple[np.ndarray, np.ndarray]:
+        self.stats.window_queries += 1
+        oids = self._index.window_query(window)
+        return self._materialise(oids)
+
+    def count(self, window: Rect) -> int:
+        self.stats.count_queries += 1
+        return self._index.count(window)
+
+    def range(self, center: Point, epsilon: float) -> Tuple[np.ndarray, np.ndarray]:
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        self.stats.range_queries += 1
+        oids = self._index.range_query(center, epsilon)
+        return self._materialise(oids)
+
+    def bucket_range(
+        self,
+        centers: Sequence[Point],
+        epsilon: float,
+        radii: Optional[Sequence[float]] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        if not centers:
+            raise ValueError("bucket_range needs at least one probe point")
+        if radii is not None and len(radii) != len(centers):
+            raise ValueError("radii must be parallel to centers")
+        self.stats.bucket_range_queries += 1
+        self.stats.bucket_range_probes += len(centers)
+        all_mbrs: List[np.ndarray] = []
+        all_oids: List[np.ndarray] = []
+        probe_idx: List[np.ndarray] = []
+        for i, center in enumerate(centers):
+            radius = epsilon if radii is None else float(radii[i])
+            oids = self._index.range_query(center, radius)
+            mbrs, oid_arr = self._materialise(oids, count_stats=False)
+            all_mbrs.append(mbrs)
+            all_oids.append(oid_arr)
+            probe_idx.append(np.full(oid_arr.shape[0], i, dtype=np.int64))
+        mbrs = np.vstack(all_mbrs) if all_mbrs else np.empty((0, 4))
+        oid_arr = np.concatenate(all_oids) if all_oids else np.empty(0, dtype=np.int64)
+        probes = np.concatenate(probe_idx) if probe_idx else np.empty(0, dtype=np.int64)
+        self.stats.objects_returned += int(oid_arr.shape[0])
+        return mbrs, oid_arr, probes
+
+    def average_mbr_area(self, window: Rect) -> float:
+        self.stats.aggregate_queries += 1
+        return self._index.average_mbr_area(window)
+
+    # ------------------------------------------------------------------ #
+
+    def _materialise(
+        self, oids: Sequence[int], count_stats: bool = True
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        rows = [self._row_of[int(oid)] for oid in oids]
+        mbrs = self.dataset.mbrs[rows] if rows else np.empty((0, 4))
+        oid_arr = np.asarray([int(o) for o in oids], dtype=np.int64)
+        if count_stats:
+            self.stats.objects_returned += len(rows)
+        return mbrs, oid_arr

@@ -1,0 +1,136 @@
+"""Tests for the transfer cost model (Section 3.1, Equations 1-8)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costmodel import INFEASIBLE, CostModel
+from repro.geometry.rect import Rect
+from repro.network.config import NetworkConfig
+from repro.network.packets import aggregate_answer_bytes, query_bytes, transferred_bytes
+
+WINDOW = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+@pytest.fixture
+def model() -> CostModel:
+    return CostModel(NetworkConfig(), epsilon=0.01)
+
+
+class TestPrimitives:
+    def test_taq_is_eq7(self, model):
+        cfg = model.config
+        assert model.taq == (cfg.header_bytes + cfg.query_bytes) + (
+            cfg.header_bytes + cfg.answer_bytes
+        )
+
+    def test_tb_matches_packetisation(self, model):
+        assert model.tb(1000) == transferred_bytes(1000, model.config)
+
+    def test_expected_probe_matches_uniform_formula(self, model):
+        # pi * eps^2 / area * n
+        expected = math.pi * 0.01**2 / 1.0 * 500
+        assert model.expected_probe_matches(WINDOW, 500) == pytest.approx(expected)
+
+    def test_expected_probe_matches_capped_at_n(self):
+        model = CostModel(NetworkConfig(), epsilon=2.0)
+        assert model.expected_probe_matches(WINDOW, 100) == 100.0
+
+    def test_expected_probe_matches_degenerate_window(self, model):
+        degenerate = Rect(0.5, 0.5, 0.5, 0.5)
+        assert model.expected_probe_matches(degenerate, 42) == 42.0
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(NetworkConfig(), epsilon=-0.1)
+
+
+class TestStrategies:
+    def test_c1_matches_eq2(self, model):
+        cfg = model.config
+        n_r, n_s = 100, 200
+        expected = 2 * query_bytes(cfg)
+        expected += transferred_bytes(n_r * cfg.object_bytes, cfg)
+        expected += transferred_bytes(n_s * cfg.object_bytes, cfg)
+        assert model.c1(WINDOW, n_r, n_s, buffer_size=1000) == pytest.approx(expected)
+
+    def test_c1_infeasible_when_buffer_too_small(self, model):
+        assert model.c1(WINDOW, 600, 600, buffer_size=800) == INFEASIBLE
+        assert model.c1(WINDOW, 600, 600, buffer_size=800, enforce_buffer=False) < INFEASIBLE
+
+    def test_c2_structure(self, model):
+        """c2 = query + outer download + one Tdq per outer object (Eq. 4)."""
+        cfg = model.config
+        n_r, n_s = 50, 400
+        expected = query_bytes(cfg)
+        expected += transferred_bytes(n_r * cfg.object_bytes, cfg)
+        expected += n_r * model.tdq(WINDOW, n_s)
+        assert model.c2(WINDOW, n_r, n_s) == pytest.approx(expected)
+
+    def test_c2_c3_symmetry(self, model):
+        assert model.c2(WINDOW, 70, 300) == pytest.approx(model.c3(WINDOW, 300, 70))
+
+    def test_equal_tariffs_make_c2_c3_equal_for_equal_counts(self, model):
+        assert model.c2(WINDOW, 150, 150) == pytest.approx(model.c3(WINDOW, 150, 150))
+
+    def test_asymmetric_tariffs_shift_preference(self):
+        # Probing an expensive server should make that orientation costlier.
+        cheap_s = CostModel(NetworkConfig(tariff_r=1.0, tariff_s=5.0), epsilon=0.01)
+        # c2 probes S (expensive), c3 probes R (cheap): c3 should win.
+        assert cheap_s.c3(WINDOW, 200, 200) < cheap_s.c2(WINDOW, 200, 200)
+
+    def test_bucket_cheaper_than_per_object_for_many_probes(self):
+        per_object = CostModel(NetworkConfig(), epsilon=0.01, bucket_queries=False)
+        bucket = CostModel(NetworkConfig(), epsilon=0.01, bucket_queries=True)
+        assert bucket.c2(WINDOW, 500, 500) < per_object.c2(WINDOW, 500, 500)
+
+    def test_c4_estimate_contains_aggregate_term(self, model):
+        cost = model.c4_estimate(WINDOW, 100, 100, buffer_size=800, k=2)
+        assert cost >= 2 * 4 * model.taq
+
+    def test_c4_estimate_scales_with_k(self, model):
+        c4_k2 = model.c4_estimate(WINDOW, 1000, 1000, buffer_size=800, k=2)
+        c4_k4 = model.c4_estimate(WINDOW, 1000, 1000, buffer_size=800, k=4)
+        # More cells always means more aggregate queries up front.
+        assert c4_k4 - c4_k2 >= 2 * (16 - 4) * model.taq - 1e-6
+
+    def test_c4_invalid_k(self, model):
+        with pytest.raises(ValueError):
+            model.c4_estimate(WINDOW, 10, 10, buffer_size=100, k=1)
+
+    def test_breakdown_cheapest_label(self, model):
+        # A huge dataset pair that fits no buffer and is uniform: c4 or NLSJ
+        # must win over the infeasible c1.
+        breakdown = model.breakdown(WINDOW, 5000, 5000, buffer_size=100)
+        assert breakdown.c1_hbsj == INFEASIBLE
+        assert breakdown.cheapest() in ("c2", "c3", "c4")
+
+    def test_breakdown_prefers_hbsj_when_feasible_and_small(self, model):
+        breakdown = model.breakdown(WINDOW, 50, 50, buffer_size=800)
+        assert breakdown.cheapest() == "c1"
+
+    def test_semijoin_estimate_monotone_in_result_size(self, model):
+        small = model.semijoin_estimate(10, 100, 10)
+        large = model.semijoin_estimate(10, 100, 10_000)
+        assert large > small
+
+    @given(
+        st.integers(min_value=0, max_value=5000),
+        st.integers(min_value=0, max_value=5000),
+    )
+    @settings(max_examples=60)
+    def test_property_costs_nonnegative_and_monotone(self, n_r, n_s):
+        model = CostModel(NetworkConfig(), epsilon=0.02)
+        c1 = model.c1(WINDOW, n_r, n_s, buffer_size=None, enforce_buffer=False)
+        c2 = model.c2(WINDOW, n_r, n_s)
+        c3 = model.c3(WINDOW, n_r, n_s)
+        assert c1 >= 0 and c2 >= 0 and c3 >= 0
+        # Adding objects never makes any strategy cheaper.
+        c1b = model.c1(WINDOW, n_r + 10, n_s, buffer_size=None, enforce_buffer=False)
+        assert c1b >= c1
+        assert model.c2(WINDOW, n_r + 10, n_s) >= c2
+        assert model.c3(WINDOW, n_r, n_s + 10) >= c3

@@ -1,0 +1,242 @@
+"""Tests for the device substrate: buffer, HBSJ, NLSJ, MobileDevice."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import clustered, gaussian_mixture, uniform
+from repro.device.buffer import BufferExceededError, DeviceBuffer
+from repro.device.hbsj import hash_based_spatial_join
+from repro.device.nlsj import nested_loop_spatial_join
+from repro.device.pda import MobileDevice
+from repro.geometry.predicates import IntersectionPredicate, WithinDistancePredicate
+from repro.geometry.rect import Rect
+from repro.server.remote import ServerPair
+from repro.server.server import SpatialServer
+
+from tests.conftest import brute_force_pairs
+
+WINDOW = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+def _servers(dataset_r, dataset_s) -> ServerPair:
+    return ServerPair.connect(
+        SpatialServer(dataset_r, name="R"), SpatialServer(dataset_s, name="S")
+    )
+
+
+class TestDeviceBuffer:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            DeviceBuffer(capacity=0)
+
+    def test_allocate_and_release(self):
+        buf = DeviceBuffer(capacity=100)
+        token = buf.allocate(60)
+        assert buf.used == 60
+        assert buf.free == 40
+        buf.release(token)
+        assert buf.used == 0
+        assert buf.high_water_mark == 60
+
+    def test_overflow_raises(self):
+        buf = DeviceBuffer(capacity=10)
+        buf.allocate(8)
+        with pytest.raises(BufferExceededError):
+            buf.allocate(5)
+
+    def test_can_fit(self):
+        buf = DeviceBuffer(capacity=10)
+        assert buf.can_fit(10)
+        buf.allocate(4)
+        assert buf.can_fit(6)
+        assert not buf.can_fit(7)
+
+    def test_double_release_is_idempotent(self):
+        buf = DeviceBuffer(capacity=10)
+        token = buf.allocate(5)
+        buf.release(token)
+        buf.release(token)
+        assert buf.used == 0
+
+    def test_release_unknown_token(self):
+        with pytest.raises(ValueError):
+            DeviceBuffer(capacity=5).release(3)
+
+    def test_reset_clears_high_water_mark(self):
+        buf = DeviceBuffer(capacity=10)
+        buf.allocate(9)
+        buf.reset()
+        assert buf.high_water_mark == 0 and buf.used == 0
+
+
+class TestHBSJ:
+    @pytest.mark.parametrize("eps", [0.02, 0.05])
+    def test_exact_when_fitting_in_buffer(self, eps):
+        r = uniform(n=120, seed=1)
+        s = uniform(n=120, seed=2)
+        servers = _servers(r, s)
+        buffer = DeviceBuffer(capacity=1000)
+        result = hash_based_spatial_join(
+            servers, WINDOW, WithinDistancePredicate(eps), buffer
+        )
+        assert set(result.pairs) == brute_force_pairs(r, s, eps)
+        assert result.windows_joined == 1
+        assert result.recursive_splits == 0
+
+    def test_exact_with_recursive_partitioning(self):
+        r = clustered(n=300, clusters=3, seed=3, std=0.05)
+        s = clustered(n=300, clusters=3, seed=3, std=0.06)
+        servers = _servers(r, s)
+        buffer = DeviceBuffer(capacity=150)  # cannot hold both windows
+        result = hash_based_spatial_join(
+            servers, WINDOW, WithinDistancePredicate(0.03), buffer
+        )
+        assert set(result.pairs) == brute_force_pairs(r, s, 0.03)
+        assert result.recursive_splits >= 1
+        assert buffer.high_water_mark <= 150
+
+    def test_prunes_empty_windows(self):
+        r = gaussian_mixture(n=100, centers=[(0.2, 0.2)], std=0.02, seed=4)
+        s = gaussian_mixture(n=100, centers=[(0.8, 0.8)], std=0.02, seed=5)
+        servers = _servers(r, s)
+        buffer = DeviceBuffer(capacity=90)  # forces splitting, then pruning
+        result = hash_based_spatial_join(
+            servers, WINDOW, WithinDistancePredicate(0.02), buffer
+        )
+        assert result.pairs == []
+        assert result.windows_pruned >= 1
+
+    def test_buffer_never_exceeded(self):
+        r = clustered(n=400, clusters=2, seed=6, std=0.02)
+        s = clustered(n=400, clusters=2, seed=6, std=0.02)
+        servers = _servers(r, s)
+        buffer = DeviceBuffer(capacity=120)
+        hash_based_spatial_join(servers, WINDOW, WithinDistancePredicate(0.01), buffer)
+        assert buffer.high_water_mark <= 120
+
+    def test_trusted_counts_skip_feasibility_queries(self):
+        r = uniform(n=50, seed=7)
+        s = uniform(n=50, seed=8)
+        servers = _servers(r, s)
+        buffer = DeviceBuffer(capacity=500)
+        result = hash_based_spatial_join(
+            servers, WINDOW, IntersectionPredicate(), buffer, count_r=50, count_s=50
+        )
+        assert result.count_queries == 0
+
+    def test_intersection_join_of_rect_data(self):
+        rng = np.random.default_rng(11)
+        from repro.datasets.dataset import SpatialDataset
+
+        def boxes(seed):
+            rng = np.random.default_rng(seed)
+            lo = rng.uniform(0, 0.9, size=(80, 2))
+            hi = lo + rng.uniform(0.01, 0.1, size=(80, 2))
+            return SpatialDataset(np.hstack([lo, np.minimum(hi, 1.0)]))
+
+        r, s = boxes(1), boxes(2)
+        servers = _servers(r, s)
+        result = hash_based_spatial_join(
+            servers, WINDOW, IntersectionPredicate(), DeviceBuffer(capacity=1000)
+        )
+        from repro.geometry import rect_array
+
+        matrix = rect_array.pairwise_intersects(r.mbrs, s.mbrs)
+        expected = {
+            (int(r.oids[i]), int(s.oids[j])) for i, j in zip(*np.nonzero(matrix))
+        }
+        assert set(result.pairs) == expected
+
+
+class TestNLSJ:
+    @pytest.mark.parametrize("outer", ["R", "S"])
+    @pytest.mark.parametrize("bucket", [False, True])
+    def test_exact_results(self, outer, bucket):
+        r = clustered(n=90, clusters=2, seed=9, std=0.05)
+        s = clustered(n=110, clusters=2, seed=9, std=0.05)
+        servers = _servers(r, s)
+        result = nested_loop_spatial_join(
+            servers,
+            WINDOW,
+            WithinDistancePredicate(0.04),
+            DeviceBuffer(capacity=500),
+            outer=outer,
+            bucket=bucket,
+        )
+        assert set(result.pairs) == brute_force_pairs(r, s, 0.04)
+        assert result.outer == outer
+
+    def test_bucket_uses_single_request(self):
+        r = uniform(n=60, seed=10)
+        s = uniform(n=60, seed=11)
+        servers = _servers(r, s)
+        result = nested_loop_spatial_join(
+            servers, WINDOW, WithinDistancePredicate(0.05),
+            DeviceBuffer(capacity=500), outer="R", bucket=True,
+        )
+        assert result.bucket_queries == 1
+        assert result.probes_sent == result.outer_objects
+
+    def test_bucket_saves_header_bytes(self):
+        r = uniform(n=200, seed=12)
+        s = uniform(n=200, seed=13)
+        pred = WithinDistancePredicate(0.01)
+        servers_a = _servers(r, s)
+        nested_loop_spatial_join(servers_a, WINDOW, pred, DeviceBuffer(500), outer="R", bucket=False)
+        servers_b = _servers(r, s)
+        nested_loop_spatial_join(servers_b, WINDOW, pred, DeviceBuffer(500), outer="R", bucket=True)
+        assert servers_b.total_bytes() < servers_a.total_bytes()
+
+    def test_invalid_outer(self):
+        servers = _servers(uniform(n=5, seed=1), uniform(n=5, seed=2))
+        with pytest.raises(ValueError):
+            nested_loop_spatial_join(
+                servers, WINDOW, IntersectionPredicate(), DeviceBuffer(10), outer="X"
+            )
+
+    def test_empty_outer_short_circuits(self):
+        r = gaussian_mixture(n=50, centers=[(0.1, 0.1)], std=0.01, seed=3)
+        s = uniform(n=50, seed=4)
+        servers = _servers(r, s)
+        result = nested_loop_spatial_join(
+            servers,
+            Rect(0.7, 0.7, 0.9, 0.9),  # region empty of R
+            WithinDistancePredicate(0.01),
+            DeviceBuffer(100),
+            outer="R",
+        )
+        assert result.pairs == [] and result.probes_sent == 0
+
+
+class TestMobileDevice:
+    def test_operator_bookkeeping(self):
+        r = uniform(n=80, seed=14)
+        s = uniform(n=80, seed=15)
+        device = MobileDevice(_servers(r, s), buffer_size=400)
+        pred = WithinDistancePredicate(0.03)
+        device.hbsj(WINDOW, pred)
+        device.nlsj(WINDOW, pred, outer="R")
+        counts = device.counts
+        assert counts.hbsj_invocations == 1
+        assert counts.nlsj_invocations == 1
+        assert device.total_bytes() > 0
+        assert device.estimated_response_time() > 0
+
+    def test_reset_clears_channels_and_buffer(self):
+        r = uniform(n=40, seed=16)
+        s = uniform(n=40, seed=17)
+        device = MobileDevice(_servers(r, s), buffer_size=200)
+        device.hbsj(WINDOW, IntersectionPredicate())
+        device.reset()
+        assert device.total_bytes() == 0
+        assert device.buffer.high_water_mark == 0
+        assert device.counts.hbsj_invocations == 0
+
+    def test_count_both(self):
+        r = uniform(n=30, seed=18)
+        s = uniform(n=70, seed=19)
+        device = MobileDevice(_servers(r, s), buffer_size=100)
+        assert device.count_both(WINDOW) == (30, 70)
+        assert device.counts.count_queries == 2

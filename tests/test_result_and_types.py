@@ -1,0 +1,114 @@
+"""Tests for JoinSpec finalisation, JoinResult and the refpoint helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.join_types import JoinKind, JoinSpec
+from repro.core.result import JoinResult, TraceEvent
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.refpoint import (
+    belongs_to_cell,
+    dedup_key,
+    pair_reference_point,
+    reference_point,
+)
+
+
+class TestJoinSpec:
+    def test_factories(self):
+        assert JoinSpec.intersection().kind is JoinKind.INTERSECTION
+        assert JoinSpec.distance(0.5).epsilon == 0.5
+        iceberg = JoinSpec.iceberg(0.1, 3)
+        assert iceberg.is_semi_join and iceberg.min_matches == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JoinSpec(kind=JoinKind.DISTANCE, epsilon=0.0)
+        with pytest.raises(ValueError):
+            JoinSpec(kind=JoinKind.INTERSECTION, epsilon=0.1)
+        with pytest.raises(ValueError):
+            JoinSpec(kind=JoinKind.DISTANCE, epsilon=0.1, min_matches=2)
+
+    def test_predicates(self):
+        assert JoinSpec.intersection().predicate().probe_radius() == 0.0
+        assert JoinSpec.distance(0.25).predicate().probe_radius() == 0.25
+
+    def test_finalise_deduplicates_pairs(self):
+        spec = JoinSpec.distance(0.1)
+        answer = spec.finalise([(1, 2), (1, 2), (3, 4)])
+        assert answer.pairs == [(1, 2), (3, 4)]
+        assert answer.objects == []
+
+    def test_finalise_iceberg_counts_distinct_partners(self):
+        spec = JoinSpec.iceberg(0.1, 2)
+        pairs = [(1, 10), (1, 11), (1, 11), (2, 10), (3, 10), (3, 11), (3, 12)]
+        answer = spec.finalise(pairs)
+        assert answer.objects == [1, 3]
+
+    def test_describe(self):
+        assert "iceberg" in JoinSpec.iceberg(0.2, 5).describe()
+        assert "eps=0.2" in JoinSpec.distance(0.2).describe()
+
+
+class TestJoinResult:
+    def _result(self) -> JoinResult:
+        return JoinResult(
+            algorithm="upjoin",
+            spec=JoinSpec.distance(0.1),
+            pairs={(1, 2), (3, 4)},
+            total_bytes=1234,
+            bytes_r=1000,
+            bytes_s=234,
+            total_cost=1234.0,
+            trace=[TraceEvent(0, Rect(0, 0, 1, 1), "start", "upjoin", 10, 20)],
+        )
+
+    def test_counts_and_sorting(self):
+        result = self._result()
+        assert result.num_pairs == 2
+        assert result.sorted_pairs() == [(1, 2), (3, 4)]
+        assert result.matches_pairs({(1, 2), (3, 4)})
+        assert not result.matches_pairs({(1, 2)})
+
+    def test_summary_mentions_key_numbers(self):
+        text = self._result().summary()
+        assert "1234" in text and "upjoin" in text
+
+    def test_trace_formatting(self):
+        result = self._result()
+        assert "start" in result.format_trace()
+        assert result.format_trace(max_events=0) == ""
+
+
+class TestReferencePoints:
+    def test_reference_point_of_overlapping_rects(self):
+        a = Rect(0.0, 0.0, 0.5, 0.5)
+        b = Rect(0.25, 0.25, 0.75, 0.75)
+        assert reference_point(a, b) == Point(0.25, 0.25)
+
+    def test_reference_point_disjoint_is_none(self):
+        assert reference_point(Rect(0, 0, 0.1, 0.1), Rect(0.5, 0.5, 0.6, 0.6)) is None
+
+    def test_pair_reference_point_for_distance_pair(self):
+        a = Rect.from_point(Point(0.1, 0.1))
+        b = Rect.from_point(Point(0.2, 0.1))
+        ref = pair_reference_point(a, b, epsilon=0.2)
+        assert ref == Point(0.15000000000000002, 0.1) or ref == Point(0.15, 0.1)
+
+    def test_pair_reference_point_disjoint_without_epsilon_raises(self):
+        with pytest.raises(ValueError):
+            pair_reference_point(Rect(0, 0, 0.1, 0.1), Rect(0.5, 0.5, 0.6, 0.6), epsilon=0.0)
+
+    def test_belongs_to_exactly_one_tiling_cell(self):
+        a = Rect.from_point(Point(0.49, 0.5))
+        b = Rect.from_point(Point(0.52, 0.5))
+        cells = Rect(0, 0, 1, 1).quadrants()
+        owners = [cell for cell in cells if belongs_to_cell(a, b, cell, epsilon=0.1)]
+        # The reference point may fall on a shared edge and be owned by up to
+        # two closed cells, but never zero.
+        assert 1 <= len(owners) <= 2
+
+    def test_dedup_key(self):
+        assert dedup_key(3, 7) == (3, 7)
