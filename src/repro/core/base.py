@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import List, Optional, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -153,6 +153,17 @@ class MobileJoinAlgorithm(ABC):
         physical operators later download.
         """
         return self.device.count_window(server_name, self.query_window(server_name, window))
+
+    def count_windows(self, server_name: str, windows: Sequence[Rect]) -> List[int]:
+        """COUNT one server over the query windows of a batch of cells.
+
+        The per-cell margins of :meth:`query_window` are applied before the
+        batch is shipped, so the counts are identical to a loop of
+        :meth:`count_window` calls (and so are the metered bytes).
+        """
+        return self.device.count_windows(
+            server_name, [self.query_window(server_name, w) for w in windows]
+        )
 
     def count_both(self, window: Rect) -> Tuple[int, int]:
         """COUNT both servers over their query windows for a cell."""

@@ -89,6 +89,9 @@ class MobiJoin(MobileJoinAlgorithm):
         self.device.note_repartition()
         k = self.params.grid_k
         self.record(depth, window, "repartition", f"{k}x{k} grid")
-        for cell in window.subdivide(k):
-            sub_r, sub_s = self.count_both(cell)
+        cells = window.subdivide(k)
+        # The 2 k^2 COUNTs of Eq. 8 go out as two batches (one per server).
+        counts_r = self.count_windows("R", cells)
+        counts_s = self.count_windows("S", cells)
+        for cell, sub_r, sub_s in zip(cells, counts_r, counts_s):
             self._execute(cell, sub_r, sub_s, depth + 1)

@@ -94,12 +94,18 @@ class FixedGridJoin(MobileJoinAlgorithm):
         if count_r == 0 or count_s == 0:
             self.prune(window, depth, count_r, count_s)
             return
-        for cell in window.subdivide(self.grid_size):
-            if self.prune_empty:
-                cell_r, cell_s = self.count_both(cell)
-                if cell_r == 0 or cell_s == 0:
-                    self.prune(cell, depth + 1, cell_r, cell_s)
-                    continue
-                self.apply_hbsj(cell, depth + 1, cell_r, cell_s, counts_exact=True)
-            else:
+        cells = window.subdivide(self.grid_size)
+        if not self.prune_empty:
+            for cell in cells:
                 self.apply_hbsj(cell, depth + 1, counts_exact=False)
+            return
+        # All per-cell COUNTs of the grid go out as two batches (one per
+        # server): same queries and bytes as the per-cell loop, answered in
+        # one index descent each.
+        counts_r = self.count_windows("R", cells)
+        counts_s = self.count_windows("S", cells)
+        for cell, cell_r, cell_s in zip(cells, counts_r, counts_s):
+            if cell_r == 0 or cell_s == 0:
+                self.prune(cell, depth + 1, cell_r, cell_s)
+                continue
+            self.apply_hbsj(cell, depth + 1, cell_r, cell_s, counts_exact=True)

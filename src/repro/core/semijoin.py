@@ -30,6 +30,7 @@ import numpy as np
 from repro.core.base import AlgorithmParameters, MobileJoinAlgorithm
 from repro.core.join_types import JoinSpec
 from repro.device.pda import MobileDevice
+from repro.geometry import rect_array
 from repro.geometry.rect import Rect
 from repro.server.remote import IndexedRemoteServer
 
@@ -82,10 +83,16 @@ class SemiJoin(MobileJoinAlgorithm):
         level_mbrs = large.level_mbrs()
         self.record(depth, window, "semijoin-mbrs", f"{len(level_mbrs)} level MBRs")
         epsilon = self.predicate.probe_radius()
+        # Expand every level MBR by epsilon and clip it to the (expanded)
+        # join window, dropping disjoint ones -- all in array form.
+        level_arr = rect_array.rects_to_array(level_mbrs)
+        if epsilon > 0:
+            level_arr = rect_array.expand(level_arr, epsilon)
+        clipped, valid = rect_array.clip_to_window(level_arr, window.expanded(epsilon))
         probe_windows = [
-            mbr.expanded(epsilon).intersection(window.expanded(epsilon)) for mbr in level_mbrs
+            Rect(float(r[0]), float(r[1]), float(r[2]), float(r[3]))
+            for r in clipped[valid]
         ]
-        probe_windows = [w for w in probe_windows if w is not None]
         if not probe_windows:
             self.record(depth, window, "semijoin-empty", "no level MBR intersects the window")
             return

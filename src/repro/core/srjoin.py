@@ -88,20 +88,36 @@ class SrJoin(MobileJoinAlgorithm):
             count_s,
         )
 
+        # Lines 8 / 14 preparation: estimated zeros must be confirmed with a
+        # real COUNT before pruning (extended objects can hide behind a
+        # derived-count underestimate).  All suspicious quadrants are
+        # confirmed in one batch per server -- the same queries the per-cell
+        # loop used to issue one at a time.
+        suspicious = [
+            i
+            for i in range(len(quadrants))
+            if (quad_r.count(i) <= 0 or quad_s.count(i) <= 0)
+            and not (quad_r.is_exact(i) and quad_s.is_exact(i))
+        ]
+        confirmed = {}
+        if suspicious:
+            cells = [quadrants[i] for i in suspicious]
+            real_r = self.count_windows("R", cells)
+            real_s = self.count_windows("S", cells)
+            confirmed = dict(zip(suspicious, zip(real_r, real_s)))
+
         for i, cell in enumerate(quadrants):
             cell_r = quad_r.count(i)
             cell_s = quad_s.count(i)
             exact = quad_r.is_exact(i) and quad_s.is_exact(i)
 
-            # Lines 8 / 14: skip empty quadrants.  Estimated zeros are
-            # confirmed with a real COUNT before pruning (extended objects).
             if cell_r <= 0 or cell_s <= 0:
-                if not exact:
-                    real_r, real_s = self.count_both(cell)
-                    if real_r > 0 and real_s > 0:
-                        cell_r, cell_s, exact = float(real_r), float(real_s), True
+                if i in confirmed:
+                    real_r_i, real_s_i = confirmed[i]
+                    if real_r_i > 0 and real_s_i > 0:
+                        cell_r, cell_s, exact = float(real_r_i), float(real_s_i), True
                     else:
-                        self.prune(cell, depth + 1, real_r, real_s)
+                        self.prune(cell, depth + 1, real_r_i, real_s_i)
                         continue
                 else:
                     self.prune(cell, depth + 1, int(cell_r), int(cell_s))

@@ -80,29 +80,28 @@ def fetch_quadrant_counts(
         consistent with the windows the physical operators download.
     """
     quadrants = tuple(window.quadrants())
+    probes = [q.expanded(margin) if margin > 0 else q for q in quadrants]
     counts: List[float] = []
     exact: List[bool] = []
-    issued = 0
-    for i, quadrant in enumerate(quadrants):
-        probe = quadrant.expanded(margin) if margin > 0 else quadrant
-        if derive_fourth and i == 3:
-            derived = parent_count - sum(counts)
-            if derived > 0:
-                counts.append(float(derived))
-                exact.append(False)
-                continue
+    # The three (or four) unconditional COUNTs are shipped as one batch: the
+    # same queries in the same order, answered in a single index descent.
+    lead = probes[:3] if derive_fourth else probes
+    counts = [float(c) for c in device.count_windows(server_name, lead)]
+    exact = [True] * len(counts)
+    issued = len(counts)
+    if derive_fourth:
+        derived = parent_count - sum(counts)
+        if derived > 0:
+            counts.append(float(derived))
+            exact.append(False)
+        else:
             # Derived value suspicious (0 or negative, possible for extended
             # objects or overlapping expanded quadrants): confirm with a
             # real query before anyone prunes on it.
-            real = device.count_window(server_name, probe)
+            real = device.count_window(server_name, probes[3])
             issued += 1
             counts.append(float(real))
             exact.append(True)
-            continue
-        real = device.count_window(server_name, probe)
-        issued += 1
-        counts.append(float(real))
-        exact.append(True)
     return QuadrantCounts(
         window=window,
         quadrants=quadrants,  # type: ignore[arg-type]

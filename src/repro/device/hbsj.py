@@ -114,16 +114,24 @@ def hash_based_spatial_join(
         _fallback_nested_loop(servers, window, predicate, buffer, result)
         return result
 
-    # Too big for the buffer: split into quadrants, prune, recurse.
+    # Too big for the buffer: split into quadrants, prune, recurse.  The
+    # per-quadrant feasibility COUNTs the children would issue on entry are
+    # batched here instead -- same queries, same bytes, one index descent.
     result.recursive_splits += 1
-    for quadrant in window.quadrants():
+    quadrants = window.quadrants()
+    quad_counts_r = servers.r.count_batch(quadrants)
+    quad_counts_s = servers.s.count_batch(
+        [q.expanded(margin) if margin > 0 else q for q in quadrants]
+    )
+    result.count_queries += 2 * len(quadrants)
+    for quadrant, qr, qs in zip(quadrants, quad_counts_r, quad_counts_s):
         sub = hash_based_spatial_join(
             servers,
             quadrant,
             predicate,
             buffer,
-            count_r=None,
-            count_s=None,
+            count_r=qr,
+            count_s=qs,
             _depth=_depth + 1,
         )
         result.merge(sub)

@@ -30,6 +30,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.device.buffer import DeviceBuffer
+from repro.geometry import rect_array
 from repro.geometry.point import Point
 from repro.geometry.predicates import IntersectionPredicate, JoinPredicate
 from repro.geometry.rect import Rect
@@ -133,10 +134,12 @@ def _probe_one_by_one(
     result: NLSJResult,
     outer: str,
 ) -> None:
-    for row, oid in zip(outer_mbrs, outer_oids):
+    # One metered range exchange per outer object, exactly as before; the
+    # server-side evaluation of all probes happens in one batched descent.
+    centers, radii = _probe_geometry(outer_mbrs, predicate)
+    payloads = inner_server.range_batch(centers, radii)
+    for row, oid, (inner_mbrs, inner_oids) in zip(outer_mbrs, outer_oids, payloads):
         outer_rect = Rect(float(row[0]), float(row[1]), float(row[2]), float(row[3]))
-        probe_center, probe_radius = _probe_for(outer_rect, predicate)
-        inner_mbrs, inner_oids = inner_server.range(probe_center, probe_radius)
         result.probes_sent += 1
         result.inner_objects_received += int(inner_oids.shape[0])
         _collect_matches(
@@ -153,35 +156,28 @@ def _probe_bucket(
     result: NLSJResult,
     outer: str,
 ) -> None:
-    centers = [
-        Point((float(r[0]) + float(r[2])) / 2.0, (float(r[1]) + float(r[3])) / 2.0)
-        for r in outer_mbrs
-    ]
-    # Per-probe radii: each probe must cover its own MBR extent plus the
-    # join distance; a single shared radius would blow up responses when a
-    # few outer objects (long railway segments, say) are much larger than
-    # the rest.
-    half_diags = 0.5 * np.hypot(
-        outer_mbrs[:, 2] - outer_mbrs[:, 0], outer_mbrs[:, 3] - outer_mbrs[:, 1]
-    )
-    base = 0.0 if isinstance(predicate, IntersectionPredicate) else predicate.probe_radius()
-    radii = (base + half_diags).tolist()
+    centers, radii = _probe_geometry(outer_mbrs, predicate)
     radius = _bucket_radius(outer_mbrs, predicate)
     inner_mbrs, inner_oids, probe_idx = inner_server.bucket_range(centers, radius, radii)
     result.bucket_queries += 1
     result.probes_sent += len(centers)
     result.inner_objects_received += int(inner_oids.shape[0])
+    # Split the concatenated response into per-probe groups without an
+    # all-pairs mask scan per probe.
+    order = np.argsort(probe_idx, kind="stable")
+    sorted_idx = probe_idx[order]
+    bounds = np.searchsorted(sorted_idx, np.arange(len(centers) + 1))
     for i, oid in enumerate(outer_oids):
-        mask = probe_idx == i
-        if not np.any(mask):
+        sel = order[bounds[i] : bounds[i + 1]]
+        if sel.shape[0] == 0:
             continue
         row = outer_mbrs[i]
         outer_rect = Rect(float(row[0]), float(row[1]), float(row[2]), float(row[3]))
         _collect_matches(
             outer_rect,
             int(oid),
-            inner_mbrs[mask],
-            inner_oids[mask],
+            inner_mbrs[sel],
+            inner_oids[sel],
             window,
             predicate,
             result,
@@ -201,25 +197,26 @@ def _collect_matches(
 ) -> None:
     """Verify probe candidates and report qualifying pairs.
 
-    The R partner of every reported pair must intersect the unexpanded
-    window: when the outer relation is R that holds by construction, when
-    the outer relation is S it is checked on each candidate, so a
-    partitioned execution assigns every pair to at least the cell(s) the R
-    object touches and never to unrelated cells.
+    The verification is vectorised over the candidate array.  The R partner
+    of every reported pair must intersect the unexpanded window: when the
+    outer relation is R that holds by construction, when the outer relation
+    is S it is checked on each candidate, so a partitioned execution assigns
+    every pair to at least the cell(s) the R object touches and never to
+    unrelated cells.
     """
-    outer_in_window = outer_rect.intersects(window)
-    for row, ioid in zip(inner_mbrs, inner_oids):
-        inner_rect = Rect(float(row[0]), float(row[1]), float(row[2]), float(row[3]))
-        if not predicate.matches(outer_rect, inner_rect):
-            continue
-        if outer == "R":
-            if not outer_in_window:
-                continue
-            result.pairs.append((outer_oid, int(ioid)))
-        else:
-            if not inner_rect.intersects(window):
-                continue
-            result.pairs.append((int(ioid), outer_oid))
+    if inner_mbrs.shape[0] == 0:
+        return
+    if outer == "R" and not outer_rect.intersects(window):
+        return
+    outer_row = np.array([outer_rect.as_tuple()], dtype=np.float64)
+    mask = predicate.matches_matrix(outer_row, inner_mbrs)[0]
+    if outer != "R":
+        mask &= rect_array.intersects_window(inner_mbrs, window)
+    matched = inner_oids[mask]
+    if outer == "R":
+        result.pairs.extend((outer_oid, int(ioid)) for ioid in matched.tolist())
+    else:
+        result.pairs.extend((int(ioid), outer_oid) for ioid in matched.tolist())
 
 
 # -------------------------------------------------------------------------- #
@@ -227,20 +224,27 @@ def _collect_matches(
 # -------------------------------------------------------------------------- #
 
 
-def _probe_for(outer_rect: Rect, predicate: JoinPredicate) -> Tuple[Point, float]:
-    """Centre and radius of the range probe for one outer object.
+def _probe_geometry(
+    outer_mbrs: np.ndarray, predicate: JoinPredicate
+) -> Tuple[List[Point], List[float]]:
+    """Centres and per-probe radii of the range probes for the outer objects.
 
-    Distance joins probe with radius ``epsilon`` around the object centre;
-    for non-point MBRs the probe radius additionally covers the half
-    diagonal of the MBR so no candidate is missed (candidates are verified
-    with the exact predicate afterwards).  Intersection joins probe with a
-    radius covering the MBR itself (zero for point data).
+    Each probe is centred on its object's MBR centre with radius
+    ``predicate.probe_radius()`` plus the half diagonal of the MBR, so no
+    candidate is missed regardless of object extent (candidates are
+    verified with the exact predicate afterwards); a single shared radius
+    would blow up responses when a few outer objects (long railway
+    segments, say) are much larger than the rest.  For intersection joins
+    ``probe_radius()`` is zero and the probe covers just the MBR itself.
     """
-    center = outer_rect.center
-    half_diag = 0.5 * float(np.hypot(outer_rect.width, outer_rect.height))
-    if isinstance(predicate, IntersectionPredicate):
-        return center, half_diag
-    return center, predicate.probe_radius() + half_diag
+    centers = [
+        Point((float(r[0]) + float(r[2])) / 2.0, (float(r[1]) + float(r[3])) / 2.0)
+        for r in outer_mbrs
+    ]
+    half_diags = 0.5 * np.hypot(
+        outer_mbrs[:, 2] - outer_mbrs[:, 0], outer_mbrs[:, 3] - outer_mbrs[:, 1]
+    )
+    return centers, (predicate.probe_radius() + half_diags).tolist()
 
 
 def _bucket_radius(outer_mbrs: np.ndarray, predicate: JoinPredicate) -> float:

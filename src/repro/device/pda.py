@@ -11,7 +11,7 @@ and in the full experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.device.buffer import DeviceBuffer
 from repro.device.hbsj import HBSJResult, hash_based_spatial_join
@@ -84,6 +84,17 @@ class MobileDevice:
         self.counts.count_queries += 1
         server = self.servers.r if server_name.upper() == "R" else self.servers.s
         return server.count(window)
+
+    def count_windows(self, server_name: str, windows: Sequence[Rect]) -> List[int]:
+        """COUNT a batch of windows on one server.
+
+        The batch is evaluated in a single index descent server-side; each
+        window is metered as its own COUNT exchange, so byte totals match a
+        loop of :meth:`count_window` calls exactly.
+        """
+        self.counts.count_queries += len(windows)
+        server = self.servers.r if server_name.upper() == "R" else self.servers.s
+        return server.count_batch(windows)
 
     def count_both(self, window: Rect) -> Tuple[int, int]:
         """COUNT the window on both servers; returns ``(|Rw|, |Sw|)``."""

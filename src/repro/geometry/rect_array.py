@@ -10,7 +10,7 @@ loops, per the HPC guide's "vectorise the hot path" rule.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -136,6 +136,70 @@ def min_distance_to_rect(mbrs: np.ndarray, rect: Rect) -> np.ndarray:
     dx = np.maximum(np.maximum(mbrs[:, 0] - rect.xmax, 0.0), rect.xmin - mbrs[:, 2])
     dy = np.maximum(np.maximum(mbrs[:, 1] - rect.ymax, 0.0), rect.ymin - mbrs[:, 3])
     return np.hypot(dx, dy)
+
+
+def within_distance_of_rect(mbrs: np.ndarray, rect: Rect, epsilon: float) -> np.ndarray:
+    """Boolean mask of MBRs whose minimum distance to ``rect`` is <= epsilon.
+
+    Matches :meth:`repro.geometry.rect.Rect.within_distance` exactly
+    (squared-distance comparison, closed bound), so the vectorised
+    refinement paths report the same pairs as the scalar predicate.
+    """
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    if mbrs.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    dx = np.maximum(np.maximum(mbrs[:, 0] - rect.xmax, 0.0), rect.xmin - mbrs[:, 2])
+    dy = np.maximum(np.maximum(mbrs[:, 1] - rect.ymax, 0.0), rect.ymin - mbrs[:, 3])
+    return dx * dx + dy * dy <= epsilon * epsilon
+
+
+def expand_index_ranges(
+    starts: np.ndarray, ends: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Expand per-row ``[start, end)`` index ranges into flat pair arrays.
+
+    Returns ``(row, index)``: for every row ``r`` and every ``i`` in its
+    range, one pair ``(r, i)``.  Negative-length ranges count as empty.
+    This is the CSR-expansion primitive underneath all batch kernels (the
+    plane sweep's candidate runs, the grid hash's cell replication, the
+    flattened R-tree's frontier expansion).
+    """
+    counts = ends - starts
+    np.maximum(counts, 0, out=counts)
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty
+    row = np.repeat(np.arange(starts.shape[0], dtype=np.intp), counts)
+    offs = np.cumsum(counts) - counts
+    idx = np.arange(total, dtype=np.intp) - np.repeat(offs, counts) + np.repeat(starts, counts)
+    return row, idx
+
+
+def clip_to_window(mbrs: np.ndarray, window: Rect) -> Tuple[np.ndarray, np.ndarray]:
+    """Clip every MBR to ``window``.
+
+    Returns ``(clipped, valid)`` where ``valid`` marks the MBRs that
+    actually intersect the window; rows of ``clipped`` outside ``valid``
+    are undefined.  The vectorised twin of ``Rect.intersection``.
+    """
+    if mbrs.shape[0] == 0:
+        return empty_mbrs(), np.zeros(0, dtype=bool)
+    clipped = np.empty_like(mbrs)
+    clipped[:, 0] = np.maximum(mbrs[:, 0], window.xmin)
+    clipped[:, 1] = np.maximum(mbrs[:, 1], window.ymin)
+    clipped[:, 2] = np.minimum(mbrs[:, 2], window.xmax)
+    clipped[:, 3] = np.minimum(mbrs[:, 3], window.ymax)
+    valid = (clipped[:, 0] <= clipped[:, 2]) & (clipped[:, 1] <= clipped[:, 3])
+    return clipped, valid
+
+
+def rects_to_array(rects: "Sequence[Rect]") -> np.ndarray:
+    """Pack a sequence of :class:`Rect` into an ``(N, 4)`` MBR array."""
+    if not rects:
+        return empty_mbrs()
+    return np.array([r.as_tuple() for r in rects], dtype=MBR_DTYPE)
 
 
 def pairwise_intersects(a: np.ndarray, b: np.ndarray) -> np.ndarray:

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.geometry import rect_array
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.index.rtree import RTree, RTreeNode
@@ -112,13 +113,33 @@ class AggregateRTree:
         """Number of indexed objects intersecting the window."""
         return self._count(self._tree.root, window)
 
+    def count_batch(self, windows: Sequence[Rect]) -> List[int]:
+        """Answer many COUNT queries in one vectorised frontier traversal.
+
+        Whole subtrees contained in a window contribute their aggregate
+        count without being descended, exactly as in :meth:`count`; all
+        (node, window) pairs of a traversal step are tested in one
+        vectorised operation against the flattened tree snapshot.
+        """
+        return self._tree.count_window_batch(windows)
+
     def window_query(self, window: Rect) -> List[int]:
         """Object ids intersecting the window (delegates to the R-tree)."""
         return self._tree.window_query(window)
 
+    def window_query_batch(self, windows: Sequence[Rect]) -> List[np.ndarray]:
+        """Batched window queries (delegates to the R-tree descent)."""
+        return self._tree.window_query_batch(windows)
+
     def range_query(self, center: Point, epsilon: float) -> List[int]:
         """Object ids within ``epsilon`` of ``center`` (delegates to the R-tree)."""
         return self._tree.range_query(center, epsilon)
+
+    def range_query_batch(
+        self, centers: Sequence[Point], radii: Sequence[float]
+    ) -> List[np.ndarray]:
+        """Batched range queries (delegates to the R-tree descent)."""
+        return self._tree.range_query_batch(centers, radii)
 
     def total_mbr_area(self, window: Rect) -> float:
         """Total object-MBR area of objects intersecting the window.
@@ -146,7 +167,8 @@ class AggregateRTree:
         if window.contains_rect(node.mbr):
             return self._agg[id(node)].count
         if node.is_leaf:
-            return sum(1 for mbr, _ in node.entries if mbr.intersects(window))
+            mbrs, _ = node.leaf_arrays()
+            return int(np.count_nonzero(rect_array.intersects_window(mbrs, window)))
         return sum(self._count(child, window) for child in node.children)
 
     def _area(self, node: RTreeNode, window: Rect) -> float:
@@ -155,7 +177,8 @@ class AggregateRTree:
         if window.contains_rect(node.mbr):
             return self._agg[id(node)].total_mbr_area
         if node.is_leaf:
-            return float(
-                sum(mbr.area for mbr, _ in node.entries if mbr.intersects(window))
-            )
+            mbrs, _ = node.leaf_arrays()
+            mask = rect_array.intersects_window(mbrs, window)
+            # Sequential sum keeps float rounding identical to the scalar path.
+            return float(sum(rect_array.areas(mbrs[mask]).tolist()))
         return sum(self._area(child, window) for child in node.children)

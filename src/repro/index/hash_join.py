@@ -15,8 +15,7 @@ hashing, so every qualifying pair co-occurs in at least one bucket.
 from __future__ import annotations
 
 import math
-from collections import defaultdict
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -24,7 +23,7 @@ from repro.geometry import rect_array
 from repro.geometry.grid import RegularGrid
 from repro.geometry.predicates import JoinPredicate, WithinDistancePredicate
 from repro.geometry.rect import Rect
-from repro.index.plane_sweep import plane_sweep_pairs
+from repro.index.plane_sweep import plane_sweep_pair_arrays
 
 __all__ = ["grid_hash_join"]
 
@@ -72,39 +71,55 @@ def grid_hash_join(
         cells_per_side = max(1, int(math.ceil(math.sqrt((na + nb) / 32.0))))
     grid = RegularGrid(bounds, cells_per_side, cells_per_side)
 
-    buckets_a = _hash_side(a_mbrs, grid, expand=0.0)
-    buckets_b = _hash_side(b_mbrs, grid, expand=eps)
+    cells_a, starts_a, objs_a = _hash_side(a_mbrs, grid, expand=0.0)
+    cells_b, starts_b, objs_b = _hash_side(b_mbrs, grid, expand=eps)
 
-    results: Set[Tuple[int, int]] = set()
-    for cell, ids_a in buckets_a.items():
-        ids_b = buckets_b.get(cell)
-        if not ids_b:
-            continue
-        sub_a = a_mbrs[ids_a]
-        sub_b = b_mbrs[ids_b]
-        for i, j in plane_sweep_pairs(sub_a, sub_b, predicate):
-            results.add((int(a_oids[ids_a[i]]), int(b_oids[ids_b[j]])))
-    return sorted(results)
+    common, pos_a, pos_b = np.intersect1d(
+        cells_a, cells_b, assume_unique=True, return_indices=True
+    )
+    pair_chunks: List[np.ndarray] = []
+    for ca, cb in zip(pos_a, pos_b):
+        ids_a = objs_a[starts_a[ca] : starts_a[ca + 1]]
+        ids_b = objs_b[starts_b[cb] : starts_b[cb + 1]]
+        i_idx, j_idx = plane_sweep_pair_arrays(a_mbrs[ids_a], b_mbrs[ids_b], predicate)
+        if i_idx.shape[0]:
+            pair_chunks.append(
+                np.column_stack([a_oids[ids_a[i_idx]], b_oids[ids_b[j_idx]]])
+            )
+    if not pair_chunks:
+        return []
+    # Deduplicate pairs rediscovered by neighbouring cells; np.unique sorts
+    # lexicographically, matching the historical sorted-set output.
+    unique = np.unique(np.concatenate(pair_chunks).astype(np.int64), axis=0)
+    return [(int(a), int(b)) for a, b in unique.tolist()]
 
 
 def _hash_side(
     mbrs: np.ndarray, grid: RegularGrid, expand: float
-) -> Dict[int, List[int]]:
-    """Assign each MBR (optionally expanded) to every overlapping cell."""
-    buckets: Dict[int, List[int]] = defaultdict(list)
-    xmin = mbrs[:, 0] - expand
-    ymin = mbrs[:, 1] - expand
-    xmax = mbrs[:, 2] + expand
-    ymax = mbrs[:, 3] + expand
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Assign each MBR (optionally expanded) to every overlapping cell.
+
+    Returns ``(cells, starts, objs)``: the sorted unique occupied cell ids,
+    CSR-style offsets into ``objs`` (``len(cells) + 1`` entries), and the
+    object indices grouped by cell.  Replication of objects straddling cell
+    boundaries is expanded with ``np.repeat`` -- no per-object Python loop.
+    """
     w = grid.window
     cw, ch = grid.cell_width, grid.cell_height
-    ix0 = np.clip(((xmin - w.xmin) / cw).astype(np.intp), 0, grid.nx - 1)
-    ix1 = np.clip(((xmax - w.xmin) / cw).astype(np.intp), 0, grid.nx - 1)
-    iy0 = np.clip(((ymin - w.ymin) / ch).astype(np.intp), 0, grid.ny - 1)
-    iy1 = np.clip(((ymax - w.ymin) / ch).astype(np.intp), 0, grid.ny - 1)
-    for idx in range(mbrs.shape[0]):
-        for iy in range(iy0[idx], iy1[idx] + 1):
-            base = iy * grid.nx
-            for ix in range(ix0[idx], ix1[idx] + 1):
-                buckets[base + ix].append(idx)
-    return buckets
+    ix0 = np.clip(((mbrs[:, 0] - expand - w.xmin) / cw).astype(np.intp), 0, grid.nx - 1)
+    ix1 = np.clip(((mbrs[:, 2] + expand - w.xmin) / cw).astype(np.intp), 0, grid.nx - 1)
+    iy0 = np.clip(((mbrs[:, 1] - expand - w.ymin) / ch).astype(np.intp), 0, grid.ny - 1)
+    iy1 = np.clip(((mbrs[:, 3] + expand - w.ymin) / ch).astype(np.intp), 0, grid.ny - 1)
+    nx_span = ix1 - ix0 + 1
+    rep = nx_span * (iy1 - iy0 + 1)
+    # Per-replica rank within its object, decomposed into (row, column) of
+    # the object's cell footprint.
+    obj, rank = rect_array.expand_index_ranges(np.zeros_like(rep), rep)
+    span = nx_span[obj]
+    cell = (iy0[obj] + rank // span) * grid.nx + ix0[obj] + rank % span
+    order = np.argsort(cell, kind="stable")
+    cell_sorted = cell[order]
+    obj_sorted = obj[order]
+    cells, first = np.unique(cell_sorted, return_index=True)
+    offsets = np.append(first, cell.shape[0])
+    return cells, offsets, obj_sorted

@@ -9,6 +9,17 @@ inputs by ``xmin`` and sweep, testing only pairs whose x-extents overlap
 The kernel works on ``(N, 4)`` MBR arrays plus parallel oid arrays and
 returns oid pairs.  It is exact (no false negatives) for both intersection
 and epsilon-distance predicates.
+
+Two implementations are provided:
+
+* :func:`plane_sweep_pair_arrays` -- the production kernel.  The sweep is
+  expressed entirely in NumPy: candidate runs for every lead rectangle are
+  located with two ``searchsorted`` passes (one per lead side), expanded
+  into flat index arrays, and the exact predicate is evaluated over all
+  candidates at once.  No per-object Python loop remains.
+* :func:`plane_sweep_pairs_scalar` -- the original per-lead sweep, kept as
+  the reference implementation for the equivalence tests and the
+  scalar-vs-vectorised micro-benchmark in ``benchmarks/bench_kernels.py``.
 """
 
 from __future__ import annotations
@@ -17,9 +28,67 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.geometry.rect_array import expand_index_ranges
 from repro.geometry.predicates import JoinPredicate, WithinDistancePredicate
 
-__all__ = ["plane_sweep_join", "plane_sweep_pairs"]
+__all__ = [
+    "plane_sweep_join",
+    "plane_sweep_pairs",
+    "plane_sweep_pair_arrays",
+    "plane_sweep_pairs_scalar",
+]
+
+
+def plane_sweep_pair_arrays(
+    a_mbrs: np.ndarray,
+    b_mbrs: np.ndarray,
+    predicate: JoinPredicate,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All index pairs ``(i, j)`` with ``predicate(a[i], b[j])`` true.
+
+    Returns two parallel ``intp`` arrays of positional indices into the two
+    input arrays.  Each qualifying pair appears exactly once; the order is
+    an implementation detail (callers needing determinism sort).
+    """
+    na, nb = a_mbrs.shape[0], b_mbrs.shape[0]
+    if na == 0 or nb == 0:
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty
+    eps = predicate.probe_radius() if isinstance(predicate, WithinDistancePredicate) else 0.0
+
+    a_order = np.argsort(a_mbrs[:, 0], kind="stable")
+    b_order = np.argsort(b_mbrs[:, 0], kind="stable")
+    a_sorted = a_mbrs[a_order]
+    b_sorted = b_mbrs[b_order]
+    ax = np.ascontiguousarray(a_sorted[:, 0])
+    bx = np.ascontiguousarray(b_sorted[:, 0])
+
+    # A pair is a sweep candidate iff the eps-expanded x-extents overlap;
+    # the sweep's tie rule (A leads on equal xmin) splits the enumeration
+    # into two disjoint searchsorted passes, so each pair appears once.
+    lead_a, cand_b = expand_index_ranges(
+        np.searchsorted(bx, ax, side="left"),
+        np.searchsorted(bx, a_sorted[:, 2] + eps, side="right"),
+    )
+    lead_b, cand_a = expand_index_ranges(
+        np.searchsorted(ax, bx, side="right"),
+        np.searchsorted(ax, b_sorted[:, 2] + eps, side="right"),
+    )
+    i_idx = np.concatenate([lead_a, cand_a])
+    j_idx = np.concatenate([cand_b, lead_b])
+    if i_idx.shape[0] == 0:
+        return i_idx, j_idx
+
+    # Exact predicate over all candidates at once.
+    a_sel = a_sorted[i_idx]
+    b_sel = b_sorted[j_idx]
+    dx = np.maximum(np.maximum(a_sel[:, 0] - b_sel[:, 2], 0.0), b_sel[:, 0] - a_sel[:, 2])
+    dy = np.maximum(np.maximum(a_sel[:, 1] - b_sel[:, 3], 0.0), b_sel[:, 1] - a_sel[:, 3])
+    if eps > 0.0:
+        mask = dx * dx + dy * dy <= eps * eps
+    else:
+        mask = (dx <= 0.0) & (dy <= 0.0)
+    return a_order[i_idx[mask]], b_order[j_idx[mask]]
 
 
 def plane_sweep_pairs(
@@ -32,6 +101,16 @@ def plane_sweep_pairs(
     Returns positional indices into the two arrays; use
     :func:`plane_sweep_join` to get oid pairs directly.
     """
+    i_idx, j_idx = plane_sweep_pair_arrays(a_mbrs, b_mbrs, predicate)
+    return list(zip(i_idx.tolist(), j_idx.tolist()))
+
+
+def plane_sweep_pairs_scalar(
+    a_mbrs: np.ndarray,
+    b_mbrs: np.ndarray,
+    predicate: JoinPredicate,
+) -> List[Tuple[int, int]]:
+    """The original per-lead sweep (reference kernel, not on the hot path)."""
     na, nb = a_mbrs.shape[0], b_mbrs.shape[0]
     if na == 0 or nb == 0:
         return []
@@ -106,5 +185,7 @@ def plane_sweep_join(
     predicate: JoinPredicate,
 ) -> List[Tuple[int, int]]:
     """Join two MBR arrays, returning ``(a_oid, b_oid)`` pairs."""
-    idx_pairs = plane_sweep_pairs(a_mbrs, b_mbrs, predicate)
-    return [(int(a_oids[i]), int(b_oids[j])) for i, j in idx_pairs]
+    i_idx, j_idx = plane_sweep_pair_arrays(a_mbrs, b_mbrs, predicate)
+    a_sel = np.asarray(a_oids)[i_idx]
+    b_sel = np.asarray(b_oids)[j_idx]
+    return [(int(a), int(b)) for a, b in zip(a_sel.tolist(), b_sel.tolist())]

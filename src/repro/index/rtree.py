@@ -22,6 +22,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.geometry import rect_array
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 
@@ -42,10 +43,33 @@ class RTreeNode:
     mbr: Optional[Rect] = None
     entries: List[Tuple[Rect, int]] = field(default_factory=list)
     children: List["RTreeNode"] = field(default_factory=list)
+    #: Lazily built ``(mbrs, oids)`` arrays of a leaf's entries, used by the
+    #: vectorised query paths; invalidated whenever ``entries`` mutates.
+    _leaf_cache: Optional[Tuple[np.ndarray, np.ndarray]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def fanout(self) -> int:
         """Number of entries (leaf) or children (internal)."""
         return len(self.entries) if self.is_leaf else len(self.children)
+
+    def leaf_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The leaf's entries as parallel ``(N, 4)`` MBR / oid arrays."""
+        if self._leaf_cache is None:
+            if self.entries:
+                mbrs = np.array(
+                    [(r.xmin, r.ymin, r.xmax, r.ymax) for r, _ in self.entries],
+                    dtype=np.float64,
+                )
+                oids = np.array([oid for _, oid in self.entries], dtype=np.int64)
+            else:
+                mbrs = np.empty((0, 4), dtype=np.float64)
+                oids = np.empty(0, dtype=np.int64)
+            self._leaf_cache = (mbrs, oids)
+        return self._leaf_cache
+
+    def invalidate_leaf_cache(self) -> None:
+        self._leaf_cache = None
 
     def recompute_mbr(self) -> None:
         """Recompute the node MBR from its content."""
@@ -99,6 +123,8 @@ class RTree:
             )
         self.root = RTreeNode(is_leaf=True, level=0)
         self._size = 0
+        #: Cached flattened snapshot for batch queries; dropped on mutation.
+        self._flat = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -114,8 +140,10 @@ class RTree:
 
     def insert(self, mbr: Rect, oid: int) -> None:
         """Insert a single ``(mbr, oid)`` entry (Guttman insertion)."""
+        self._flat = None
         leaf = self._choose_leaf(self.root, mbr)
         leaf.entries.append((mbr, oid))
+        leaf.invalidate_leaf_cache()
         leaf.mbr = mbr if leaf.mbr is None else leaf.mbr.union(mbr)
         self._size += 1
         self._handle_overflow(leaf)
@@ -178,6 +206,49 @@ class RTree:
         out: List[int] = []
         self._range_query(self.root, center, epsilon, out)
         return out
+
+    # ------------------------------------------------------------------ #
+    # batch queries (flattened array traversal answers many queries at once)
+    # ------------------------------------------------------------------ #
+
+    def flat_view(self) -> "FlatRTree":
+        """The flattened array snapshot of this tree (built lazily).
+
+        The snapshot is cached and rebuilt after mutations; all batch
+        queries execute against it.
+        """
+        if self._flat is None:
+            from repro.index.flat import FlatRTree
+
+            self._flat = FlatRTree(self)
+        return self._flat
+
+    def window_query_batch(self, windows: Sequence[Rect]) -> List[np.ndarray]:
+        """Answer many window queries in one vectorised frontier traversal.
+
+        Returns one ``int64`` oid array per window.  Each array holds the
+        same oid set a scalar :meth:`window_query` would produce; the order
+        within an array is a traversal detail.
+        """
+        wins = rect_array.rects_to_array(list(windows))
+        return self.flat_view().window_batch(wins)
+
+    def count_window_batch(self, windows: Sequence[Rect]) -> List[int]:
+        """Result sizes of many window queries (aggregate-style shortcut)."""
+        wins = rect_array.rects_to_array(list(windows))
+        return [int(c) for c in self.flat_view().count_batch(wins)]
+
+    def range_query_batch(
+        self, centers: Sequence[Point], radii: Sequence[float]
+    ) -> List[np.ndarray]:
+        """Answer many range queries in one vectorised frontier traversal."""
+        if len(centers) != len(radii):
+            raise ValueError("radii must be parallel to centers")
+        if any(r < 0 for r in radii):
+            raise ValueError("epsilon must be non-negative")
+        pts = np.array([(p.x, p.y) for p in centers], dtype=np.float64).reshape(-1, 2)
+        rads = np.asarray(radii, dtype=np.float64)
+        return self.flat_view().range_batch(pts, rads)
 
     def nearest_neighbors(self, center: Point, k: int = 1) -> List[Tuple[float, int]]:
         """The ``k`` nearest objects to ``center`` as ``(distance, oid)`` pairs.
@@ -397,6 +468,8 @@ class RTree:
         if node.is_leaf:
             node.entries = [(r, p) for r, p in group_a]  # type: ignore[misc]
             sibling.entries = [(r, p) for r, p in group_b]  # type: ignore[misc]
+            node.invalidate_leaf_cache()
+            sibling.invalidate_leaf_cache()
         else:
             node.children = [p for _, p in group_a]  # type: ignore[misc]
             sibling.children = [p for _, p in group_b]  # type: ignore[misc]
@@ -432,7 +505,8 @@ class RTree:
         if node.mbr is None or not node.mbr.intersects(window):
             return
         if node.is_leaf:
-            out.extend(oid for mbr, oid in node.entries if mbr.intersects(window))
+            mbrs, oids = node.leaf_arrays()
+            out.extend(oids[rect_array.intersects_window(mbrs, window)].tolist())
             return
         for child in node.children:
             self._window_query(child, window, out)
@@ -443,11 +517,9 @@ class RTree:
         if node.mbr is None or node.mbr.min_distance_to_point(center) > epsilon:
             return
         if node.is_leaf:
-            out.extend(
-                oid
-                for mbr, oid in node.entries
-                if mbr.min_distance_to_point(center) <= epsilon
-            )
+            mbrs, oids = node.leaf_arrays()
+            dists = rect_array.min_distance_to_point(mbrs, center.x, center.y)
+            out.extend(oids[dists <= epsilon].tolist())
             return
         for child in node.children:
             self._range_query(child, center, epsilon, out)

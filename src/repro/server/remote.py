@@ -90,11 +90,52 @@ class RemoteServer(SpatialServerInterface):
         self.channel.send_response(ScalarResponse(float(value)), label="count-result")
         return value
 
+    def window_batch(
+        self, windows: Sequence[Rect]
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Issue many WINDOW queries, evaluated server-side in one descent.
+
+        Each window is accounted as its own query/response exchange, so the
+        wire bytes are bit-identical to a loop of :meth:`window` calls; only
+        the server-side evaluation is batched.
+        """
+        payloads = self._server.window_batch(list(windows))
+        for window, (mbrs, oids) in zip(windows, payloads):
+            self.channel.send_query(WindowQuery(window), label="window")
+            self.channel.send_response(ObjectPayload(mbrs, oids), label="window-result")
+        return payloads
+
+    def count_batch(self, windows: Sequence[Rect]) -> List[int]:
+        """Issue many COUNT queries, evaluated server-side in one descent.
+
+        Accounting is bit-identical to a loop of :meth:`count` calls.
+        """
+        values = self._server.count_batch(list(windows))
+        for window, value in zip(windows, values):
+            self.channel.send_query(CountQuery(window), label="count")
+            self.channel.send_response(ScalarResponse(float(value)), label="count-result")
+        return values
+
     def range(self, center: Point, epsilon: float) -> Tuple[np.ndarray, np.ndarray]:
         self.channel.send_query(RangeQuery(center, epsilon), label="range")
         mbrs, oids = self._server.range(center, epsilon)
         self.channel.send_response(ObjectPayload(mbrs, oids), label="range-result")
         return mbrs, oids
+
+    def range_batch(
+        self, centers: Sequence[Point], radii: Sequence[float]
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Issue many RANGE probes, evaluated server-side in one descent.
+
+        Unlike :meth:`bucket_range` this is *not* the bucket protocol: every
+        probe is metered as its own query/response exchange, bit-identical
+        to a loop of :meth:`range` calls.
+        """
+        payloads = self._server.range_batch(centers, radii)
+        for center, radius, (mbrs, oids) in zip(centers, radii, payloads):
+            self.channel.send_query(RangeQuery(center, float(radius)), label="range")
+            self.channel.send_response(ObjectPayload(mbrs, oids), label="range-result")
+        return payloads
 
     def bucket_range(
         self,
@@ -200,19 +241,19 @@ class IndexedRemoteServer(RemoteServer):
         )
         # The probe payload above only accounts the query string + one
         # object per window; exactly what shipping the MBR list costs.
-        seen: set[int] = set()
-        mbr_rows: List[np.ndarray] = []
-        oid_rows: List[int] = []
-        for w in windows:
-            mbrs, oids = self._server.window(w)
-            for row, oid in zip(mbrs, oids):
-                if int(oid) in seen:
-                    continue
-                seen.add(int(oid))
-                mbr_rows.append(row)
-                oid_rows.append(int(oid))
-        mbrs_out = np.array(mbr_rows, dtype=np.float64) if mbr_rows else np.empty((0, 4))
-        oids_out = np.asarray(oid_rows, dtype=np.int64)
+        payloads = self._server.window_batch(list(windows))
+        all_mbrs = np.vstack([m for m, _ in payloads]) if payloads else np.empty((0, 4))
+        all_oids = (
+            np.concatenate([o for _, o in payloads])
+            if payloads
+            else np.empty(0, dtype=np.int64)
+        )
+        # Deduplicate objects returned by several windows, keeping the
+        # first-seen order (as the original per-window relay did).
+        _, first = np.unique(all_oids, return_index=True)
+        keep = np.sort(first)
+        mbrs_out = all_mbrs[keep]
+        oids_out = all_oids[keep]
         self.channel.send_response(
             ObjectPayload(mbrs_out, oids_out), label="semijoin-objects"
         )

@@ -76,10 +76,11 @@ class SpatialServer(SpatialServerInterface):
         self.name = name
         self.stats = ServerQueryStats()
         self._index = AggregateRTree(dataset.entries(), max_entries=index_fanout)
-        # Dense oid -> row lookup for assembling result payloads.
-        self._row_of: Dict[int, int] = {
-            int(oid): i for i, oid in enumerate(dataset.oids)
-        }
+        # Sorted oid -> row lookup for assembling result payloads without a
+        # per-object dict probe.
+        oids = np.asarray(dataset.oids, dtype=np.int64)
+        self._row_order = np.argsort(oids, kind="stable")
+        self._oids_sorted = oids[self._row_order]
 
     def __len__(self) -> int:
         return len(self.dataset)
@@ -104,9 +105,26 @@ class SpatialServer(SpatialServerInterface):
         oids = self._index.window_query(window)
         return self._materialise(oids)
 
+    def window_batch(self, windows: Sequence[Rect]) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Answer a batch of WINDOW queries in one index descent.
+
+        Statistics are updated exactly as if :meth:`window` had been called
+        once per window.
+        """
+        self.stats.window_queries += len(windows)
+        return [
+            self._materialise(oids)
+            for oids in self._index.window_query_batch(windows)
+        ]
+
     def count(self, window: Rect) -> int:
         self.stats.count_queries += 1
         return self._index.count(window)
+
+    def count_batch(self, windows: Sequence[Rect]) -> List[int]:
+        """Answer a batch of COUNT queries in one aggregate-tree descent."""
+        self.stats.count_queries += len(windows)
+        return self._index.count_batch(windows)
 
     def range(self, center: Point, epsilon: float) -> Tuple[np.ndarray, np.ndarray]:
         if epsilon < 0:
@@ -114,6 +132,21 @@ class SpatialServer(SpatialServerInterface):
         self.stats.range_queries += 1
         oids = self._index.range_query(center, epsilon)
         return self._materialise(oids)
+
+    def range_batch(
+        self, centers: Sequence[Point], radii: Sequence[float]
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Answer a batch of RANGE queries in one index descent.
+
+        Statistics are updated exactly as if :meth:`range` had been called
+        once per probe.
+        """
+        per_probe = [float(r) for r in radii]
+        if any(r < 0 for r in per_probe):
+            raise ValueError("epsilon must be non-negative")
+        self.stats.range_queries += len(centers)
+        oid_lists = self._index.range_query_batch(list(centers), per_probe)
+        return [self._materialise(oids) for oids in oid_lists]
 
     def bucket_range(
         self,
@@ -129,19 +162,14 @@ class SpatialServer(SpatialServerInterface):
             raise ValueError("radii must be parallel to centers")
         self.stats.bucket_range_queries += 1
         self.stats.bucket_range_probes += len(centers)
-        all_mbrs: List[np.ndarray] = []
-        all_oids: List[np.ndarray] = []
-        probe_idx: List[np.ndarray] = []
-        for i, center in enumerate(centers):
-            radius = epsilon if radii is None else float(radii[i])
-            oids = self._index.range_query(center, radius)
-            mbrs, oid_arr = self._materialise(oids, count_stats=False)
-            all_mbrs.append(mbrs)
-            all_oids.append(oid_arr)
-            probe_idx.append(np.full(oid_arr.shape[0], i, dtype=np.int64))
-        mbrs = np.vstack(all_mbrs) if all_mbrs else np.empty((0, 4))
-        oid_arr = np.concatenate(all_oids) if all_oids else np.empty(0, dtype=np.int64)
-        probes = np.concatenate(probe_idx) if probe_idx else np.empty(0, dtype=np.int64)
+        per_probe = [epsilon] * len(centers) if radii is None else [float(r) for r in radii]
+        oid_lists = self._index.range_query_batch(list(centers), per_probe)
+        counts = np.array([o.shape[0] for o in oid_lists], dtype=np.int64)
+        oid_arr = (
+            np.concatenate(oid_lists) if oid_lists else np.empty(0, dtype=np.int64)
+        )
+        mbrs, oid_arr = self._materialise(oid_arr, count_stats=False)
+        probes = np.repeat(np.arange(len(centers), dtype=np.int64), counts)
         self.stats.objects_returned += int(oid_arr.shape[0])
         return mbrs, oid_arr, probes
 
@@ -154,9 +182,17 @@ class SpatialServer(SpatialServerInterface):
     def _materialise(
         self, oids: Sequence[int], count_stats: bool = True
     ) -> Tuple[np.ndarray, np.ndarray]:
-        rows = [self._row_of[int(oid)] for oid in oids]
-        mbrs = self.dataset.mbrs[rows] if rows else np.empty((0, 4))
-        oid_arr = np.asarray([int(o) for o in oids], dtype=np.int64)
+        oid_arr = np.asarray(oids, dtype=np.int64)
+        if oid_arr.shape[0]:
+            pos = np.searchsorted(self._oids_sorted, oid_arr)
+            if np.any(pos >= self._oids_sorted.shape[0]) or np.any(
+                self._oids_sorted[np.minimum(pos, self._oids_sorted.shape[0] - 1)]
+                != oid_arr
+            ):
+                raise KeyError("unknown oid in materialisation request")
+            mbrs = self.dataset.mbrs[self._row_order[pos]]
+        else:
+            mbrs = np.empty((0, 4))
         if count_stats:
-            self.stats.objects_returned += len(rows)
+            self.stats.objects_returned += int(oid_arr.shape[0])
         return mbrs, oid_arr

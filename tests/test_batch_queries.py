@@ -1,0 +1,195 @@
+"""Tests for the vectorised batch execution layer.
+
+The batch entry points (flattened R-tree traversal, server batch queries,
+metered batch proxies) must return exactly what a loop of scalar calls
+returns -- same result sets, same server statistics, same wire bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.synthetic import clustered, uniform
+from repro.datasets.railway import generate_railway_like
+from repro.geometry import rect_array
+from repro.geometry.point import Point
+from repro.geometry.predicates import IntersectionPredicate, WithinDistancePredicate
+from repro.geometry.rect import Rect
+from repro.index.aggregate_rtree import AggregateRTree
+from repro.index.plane_sweep import plane_sweep_pairs, plane_sweep_pairs_scalar
+from repro.index.rtree import RTree
+from repro.network.config import NetworkConfig
+from repro.server.remote import ServerPair
+from repro.server.server import SpatialServer
+
+
+def _random_windows(n: int, seed: int):
+    rng = np.random.default_rng(seed)
+    xs = rng.uniform(-0.1, 0.9, size=n)
+    ys = rng.uniform(-0.1, 0.9, size=n)
+    ws = rng.uniform(0.0, 0.4, size=(n, 2))
+    return [
+        Rect(float(x), float(y), float(x + w), float(y + h))
+        for x, y, (w, h) in zip(xs, ys, ws)
+    ]
+
+
+class TestFlatTreeBatches:
+    @pytest.mark.parametrize("dataset", ["uniform", "clustered", "railway"])
+    def test_window_and_count_batch_match_scalar(self, dataset):
+        if dataset == "railway":
+            ds = generate_railway_like(n_segments=400, seed=5, hubs=8)
+        elif dataset == "clustered":
+            ds = clustered(n=500, clusters=5, seed=3)
+        else:
+            ds = uniform(n=500, seed=2)
+        tree = RTree.bulk_load(ds.entries(), max_entries=8)
+        windows = _random_windows(40, seed=9)
+        batched = tree.window_query_batch(windows)
+        counts = tree.count_window_batch(windows)
+        for window, oids, count in zip(windows, batched, counts):
+            scalar = tree.window_query(window)
+            assert sorted(oids.tolist()) == sorted(scalar)
+            assert count == len(scalar)
+
+    def test_range_batch_matches_scalar(self):
+        ds = clustered(n=400, clusters=4, seed=7)
+        tree = RTree.bulk_load(ds.entries(), max_entries=8)
+        rng = np.random.default_rng(1)
+        centers = [Point(float(x), float(y)) for x, y in rng.uniform(0, 1, size=(60, 2))]
+        radii = rng.uniform(0.0, 0.1, size=60).tolist()
+        batched = tree.range_query_batch(centers, radii)
+        for center, radius, oids in zip(centers, radii, batched):
+            assert sorted(oids.tolist()) == sorted(tree.range_query(center, radius))
+
+    def test_aggregate_count_batch_matches_scalar(self):
+        ds = generate_railway_like(n_segments=300, seed=11, hubs=6)
+        agg = AggregateRTree(ds.entries(), max_entries=8)
+        windows = _random_windows(30, seed=13)
+        assert agg.count_batch(windows) == [agg.count(w) for w in windows]
+
+    def test_flat_view_rebuilt_after_insert(self):
+        tree = RTree(max_entries=4)
+        for i in range(10):
+            tree.insert(Rect(i * 0.1, 0.0, i * 0.1 + 0.05, 0.05), i)
+        everything = Rect(-1, -1, 2, 2)
+        assert tree.count_window_batch([everything]) == [10]
+        tree.insert(Rect(0.5, 0.5, 0.6, 0.6), 99)
+        assert tree.count_window_batch([everything]) == [11]
+        assert 99 in tree.window_query_batch([everything])[0].tolist()
+
+    def test_empty_tree_and_empty_batch(self):
+        tree = RTree(max_entries=4)
+        assert tree.window_query_batch([]) == []
+        assert tree.count_window_batch([Rect(0, 0, 1, 1)]) == [0]
+        assert tree.range_query_batch([], []) == []
+
+
+class TestServerBatches:
+    def _pair(self):
+        ds_r = clustered(n=200, clusters=3, seed=17, name="R")
+        ds_s = clustered(n=200, clusters=3, seed=18, name="S")
+        server_r = SpatialServer(ds_r, name="R")
+        server_s = SpatialServer(ds_s, name="S")
+        return ServerPair.connect(server_r, server_s, config=NetworkConfig())
+
+    def test_count_batch_bytes_match_scalar_loop(self):
+        pair_a = self._pair()
+        pair_b = self._pair()
+        windows = _random_windows(12, seed=19)
+        batched = pair_a.r.count_batch(windows)
+        looped = [pair_b.r.count(w) for w in windows]
+        assert batched == looped
+        assert pair_a.r.total_bytes() == pair_b.r.total_bytes()
+        assert pair_a.r.channel.snapshot() == pair_b.r.channel.snapshot()
+        assert (
+            pair_a.r.backing_server.stats.as_dict()
+            == pair_b.r.backing_server.stats.as_dict()
+        )
+
+    def test_window_batch_bytes_match_scalar_loop(self):
+        pair_a = self._pair()
+        pair_b = self._pair()
+        windows = _random_windows(12, seed=23)
+        batched = pair_a.s.window_batch(windows)
+        looped = [pair_b.s.window(w) for w in windows]
+        for (mbrs_a, oids_a), (mbrs_b, oids_b) in zip(batched, looped):
+            assert sorted(oids_a.tolist()) == sorted(oids_b.tolist())
+            assert mbrs_a.shape == mbrs_b.shape
+        assert pair_a.s.total_bytes() == pair_b.s.total_bytes()
+        assert (
+            pair_a.s.backing_server.stats.as_dict()
+            == pair_b.s.backing_server.stats.as_dict()
+        )
+
+    def test_range_batch_bytes_match_scalar_loop(self):
+        pair_a = self._pair()
+        pair_b = self._pair()
+        rng = np.random.default_rng(29)
+        centers = [Point(float(x), float(y)) for x, y in rng.uniform(0, 1, size=(15, 2))]
+        radii = rng.uniform(0.0, 0.08, size=15).tolist()
+        batched = pair_a.r.range_batch(centers, radii)
+        looped = [pair_b.r.range(c, e) for c, e in zip(centers, radii)]
+        for (_, oids_a), (_, oids_b) in zip(batched, looped):
+            assert sorted(oids_a.tolist()) == sorted(oids_b.tolist())
+        assert pair_a.r.total_bytes() == pair_b.r.total_bytes()
+        assert (
+            pair_a.r.backing_server.stats.as_dict()
+            == pair_b.r.backing_server.stats.as_dict()
+        )
+
+
+class TestVectorisedSweepAgainstScalarReference:
+    @given(
+        st.integers(min_value=0, max_value=70),
+        st.integers(min_value=0, max_value=70),
+        st.integers(min_value=0, max_value=5000),
+        st.floats(min_value=0.0, max_value=0.15),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_same_pairs_as_scalar_sweep(self, na, nb, seed, eps):
+        rng = np.random.default_rng(seed)
+        def mk(n, s):
+            pts = rng.uniform(0, 1, size=(n, 2))
+            ext = rng.uniform(0, 0.05, size=(n, 2))
+            return np.column_stack([pts, np.minimum(pts + ext, 1.0)])
+        a, b = mk(na, seed), mk(nb, seed + 1)
+        predicate = WithinDistancePredicate(eps) if eps > 0 else IntersectionPredicate()
+        assert set(plane_sweep_pairs(a, b, predicate)) == set(
+            plane_sweep_pairs_scalar(a, b, predicate)
+        )
+
+
+class TestRectArrayBatchKernels:
+    def test_expand_index_ranges(self):
+        starts = np.array([3, 0, 5, 7])
+        ends = np.array([5, 0, 8, 6])  # second empty, fourth negative-length
+        row, idx = rect_array.expand_index_ranges(starts, ends)
+        assert row.tolist() == [0, 0, 2, 2, 2]
+        assert idx.tolist() == [3, 4, 5, 6, 7]
+
+    def test_within_distance_of_rect_matches_predicate(self):
+        rng = np.random.default_rng(41)
+        pts = rng.uniform(0, 1, (150, 2))
+        mbrs = np.column_stack([pts, pts + rng.uniform(0, 0.05, (150, 2))])
+        rect = Rect(0.4, 0.4, 0.55, 0.6)
+        eps = 0.07
+        mask = rect_array.within_distance_of_rect(mbrs, rect, eps)
+        for row, hit in zip(mbrs, mask):
+            other = Rect(*(float(v) for v in row))
+            assert bool(hit) == rect.within_distance(other, eps)
+
+    def test_clip_to_window_matches_intersection(self):
+        windows = _random_windows(50, seed=43)
+        arr = rect_array.rects_to_array(windows)
+        clip_window = Rect(0.2, 0.2, 0.7, 0.7)
+        clipped, valid = rect_array.clip_to_window(arr, clip_window)
+        for window, row, ok in zip(windows, clipped, valid):
+            inter = window.intersection(clip_window)
+            assert bool(ok) == (inter is not None)
+            if inter is not None:
+                assert inter == Rect(*(float(v) for v in row))
+

@@ -1,0 +1,79 @@
+"""Golden-figure regression tests.
+
+One small Figure 6(a) configuration and one small Figure 7(b) configuration
+are frozen as fixtures (``tests/fixtures/golden_figures.json``) from the
+seed state of the repository.  The experiment harness must keep reproducing
+those transfer numbers exactly: the byte totals are the paper's reported
+metric, so performance work (batching, vectorisation, index changes) is
+required to be *behaviour-preserving* down to the individual wire byte.
+
+Regenerate the fixtures (only when a byte-accounting change is intentional
+and reviewed) with::
+
+    PYTHONPATH=src python tests/test_golden_figures.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+from repro.experiments.figures import figure_6a, figure_7b
+from repro.experiments.harness import ExperimentConfig, run_experiment
+
+FIXTURE_PATH = Path(__file__).parent / "fixtures" / "golden_figures.json"
+
+
+def _golden_configs() -> Dict[str, ExperimentConfig]:
+    """The two frozen configurations: small but non-trivial (pairs > 0)."""
+    return {
+        "figure_6a_small": figure_6a(
+            alphas=(0.25,), cluster_counts=(4, 16, 128), seeds=(0,)
+        ),
+        "figure_7b_small": figure_7b(cluster_counts=(4, 16, 128), seeds=(0,)),
+    }
+
+
+def _measure() -> Dict[str, Dict[str, Dict[str, list]]]:
+    out: Dict[str, Dict[str, Dict[str, list]]] = {}
+    for name, config in _golden_configs().items():
+        result = run_experiment(config)
+        out[name] = {
+            label: {
+                "mean_bytes": series.mean_bytes,
+                "std_bytes": series.std_bytes,
+                "mean_pairs": series.mean_pairs,
+            }
+            for label, series in result.series.items()
+        }
+    return out
+
+
+def test_golden_figures_reproduce_fixture():
+    assert FIXTURE_PATH.exists(), (
+        "golden fixture missing; regenerate with "
+        "`PYTHONPATH=src python tests/test_golden_figures.py --regen`"
+    )
+    golden = json.loads(FIXTURE_PATH.read_text())
+    measured = _measure()
+    assert sorted(measured) == sorted(golden)
+    for figure, series in golden.items():
+        assert sorted(measured[figure]) == sorted(series), figure
+        for label, values in series.items():
+            got = measured[figure][label]
+            for key in ("mean_bytes", "std_bytes", "mean_pairs"):
+                assert got[key] == values[key], (
+                    f"{figure}/{label}/{key}: measured {got[key]} "
+                    f"!= frozen {values[key]}"
+                )
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" not in sys.argv:
+        sys.exit("pass --regen to overwrite the golden fixture")
+    FIXTURE_PATH.parent.mkdir(exist_ok=True)
+    FIXTURE_PATH.write_text(json.dumps(_measure(), indent=2, sort_keys=True) + "\n")
+    print(f"wrote {FIXTURE_PATH}")

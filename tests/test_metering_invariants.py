@@ -1,0 +1,146 @@
+"""Metering invariants.
+
+The byte totals reported in :class:`~repro.core.result.JoinResult` are the
+paper's headline metric, so they must be *derivable* from the traffic that
+actually crossed the metered channels -- never computed on the side.  These
+tests pin, for every algorithm:
+
+* ``total_bytes`` / ``bytes_r`` / ``bytes_s`` equal the per-record wire
+  bytes summed over the channel traffic logs;
+* channel snapshots are internally consistent (uplink + downlink = total,
+  message counters match the log);
+* every logged record's wire size equals the packetisation model applied to
+  its payload;
+* ``ServerQueryStats`` counters agree with the messages on the wire
+  (count/window/range/bucket queries, objects returned vs. payload bytes);
+* the device's ``count_queries`` operator counter equals the number of
+  COUNT requests sent over both channels.
+
+Any batching or vectorisation of the query path must keep these invariants
+bit-identical -- that is the contract the performance work is held to.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.api import AdHocJoinSession
+from repro.core.planner import ALGORITHMS
+from repro.datasets.synthetic import clustered
+from repro.network.messages import MessageKind
+from repro.network.packets import transferred_bytes
+
+ALGO_NAMES = sorted(ALGORITHMS)
+#: Algorithms that speak only the standard query protocol (SemiJoin reuses
+#: message types for its privileged index transfers, so the per-kind
+#: server-stats reconciliation below does not apply to it).
+STANDARD_ALGOS = [n for n in ALGO_NAMES if n != "semijoin"]
+
+
+def _fresh_session(buffer_size: int = 96) -> AdHocJoinSession:
+    r = clustered(n=80, clusters=3, seed=41)
+    s = clustered(n=80, clusters=2, seed=42, std=0.05)
+    return AdHocJoinSession(r, s, buffer_size=buffer_size, indexed=True)
+
+
+def _records(channel) -> List:
+    return list(channel.log.records)
+
+
+def _run(name: str, **kwargs):
+    session = _fresh_session()
+    result = session.run(algorithm=name, kind="distance", epsilon=0.04, **kwargs)
+    return session, result
+
+
+@pytest.mark.parametrize("name", ALGO_NAMES)
+def test_totals_equal_channel_log_sums(name):
+    session, result = _run(name)
+    servers = session.device.servers
+    sums = {}
+    for side, server in (("R", servers.r), ("S", servers.s)):
+        recs = _records(server.channel)
+        sums[side] = sum(rec.wire_bytes for rec in recs)
+        up = sum(rec.wire_bytes for rec in recs if rec.direction == "up")
+        down = sum(rec.wire_bytes for rec in recs if rec.direction == "down")
+        snap = server.channel.snapshot()
+        assert snap["uplink_bytes"] == up
+        assert snap["downlink_bytes"] == down
+        assert snap["total_bytes"] == up + down
+        assert snap["messages_up"] == sum(1 for r in recs if r.direction == "up")
+        assert snap["messages_down"] == sum(1 for r in recs if r.direction == "down")
+    assert result.bytes_r == sums["R"]
+    assert result.bytes_s == sums["S"]
+    assert result.total_bytes == sums["R"] + sums["S"]
+    assert result.total_cost == pytest.approx(
+        sums["R"] * servers.r.tariff + sums["S"] * servers.s.tariff
+    )
+
+
+@pytest.mark.parametrize("name", ALGO_NAMES)
+def test_wire_bytes_follow_packetisation(name):
+    session, _ = _run(name)
+    for server in (session.device.servers.r, session.device.servers.s):
+        config = server.channel.config
+        for rec in _records(server.channel):
+            assert rec.wire_bytes == transferred_bytes(rec.payload_bytes, config)
+
+
+@pytest.mark.parametrize("name", ALGO_NAMES)
+def test_device_count_queries_match_wire(name):
+    session, result = _run(name)
+    count_msgs = 0
+    for server in (session.device.servers.r, session.device.servers.s):
+        count_msgs += sum(
+            1
+            for rec in _records(server.channel)
+            if rec.direction == "up" and rec.kind is MessageKind.COUNT
+        )
+    assert result.operator_counts["count_queries"] == count_msgs
+
+
+@pytest.mark.parametrize("name", STANDARD_ALGOS)
+@pytest.mark.parametrize("bucket", [False, True])
+def test_server_stats_match_wire(name, bucket):
+    session, result = _run(name, bucket_queries=bucket)
+    for side, server in (("R", session.device.servers.r), ("S", session.device.servers.s)):
+        stats = server.backing_server.stats
+        recs = _records(server.channel)
+        by_kind: Dict[MessageKind, int] = {}
+        for rec in recs:
+            if rec.direction == "up":
+                by_kind[rec.kind] = by_kind.get(rec.kind, 0) + 1
+        assert stats.count_queries == by_kind.get(MessageKind.COUNT, 0)
+        assert stats.window_queries == by_kind.get(MessageKind.WINDOW, 0)
+        assert stats.range_queries == by_kind.get(MessageKind.RANGE, 0)
+        assert stats.bucket_range_queries == by_kind.get(MessageKind.BUCKET_RANGE, 0)
+        # Scalar responses answer exactly the COUNT and AGGREGATE requests.
+        scalars = sum(
+            1
+            for rec in recs
+            if rec.direction == "down" and rec.kind is MessageKind.SCALAR
+        )
+        assert scalars == by_kind.get(MessageKind.COUNT, 0) + by_kind.get(
+            MessageKind.AGGREGATE, 0
+        )
+        # Every object that crossed the downlink is accounted in
+        # ``objects_returned``; bucket responses additionally carry one
+        # object-sized separator per probe (Eq. 5), accumulated in
+        # ``bucket_range_probes``.
+        object_bytes = server.channel.config.object_bytes
+        payload = sum(
+            rec.payload_bytes
+            for rec in recs
+            if rec.direction == "down" and rec.kind is MessageKind.OBJECTS
+        )
+        assert payload == (stats.objects_returned + stats.bucket_range_probes) * object_bytes
+        # The result snapshot carries the same stats dictionaries.
+        assert result.server_stats[side] == stats.as_dict()
+
+
+def test_result_channel_stats_are_snapshots():
+    session, result = _run("upjoin")
+    assert result.channel_stats["R"] == session.device.servers.r.channel.snapshot()
+    assert result.channel_stats["S"] == session.device.servers.s.channel.snapshot()
