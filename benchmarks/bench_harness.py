@@ -1,0 +1,208 @@
+"""Wall-clock record of the experiment execution layer.
+
+``test_experiment_speedup_record`` times one fig6a-shaped sweep twice:
+
+* **cold serial** -- the pre-PR harness behaviour, faithfully replayed:
+  series-major loops, the workload regenerated and the full server stack
+  (entry-list STR bulk load, per-object ``Rect`` materialisation) rebuilt
+  for every single run; and
+* **cached (+parallel)** -- the execution layer: one array-native server
+  build per (x-value, seed) cell shared across all series via the
+  :class:`~repro.experiments.harness.WorkloadCache`, fanned out over a
+  process pool when the machine has more than one core.
+
+It asserts the two produce bit-identical series and writes
+``benchmarks/results/experiment_speedup.json`` so the perf trajectory of
+the harness is machine-readable per PR, mirroring the kernel speedup
+record in ``bench_kernels.py``.
+
+The sweep is small (4 x-values x 2 seeds x 4 alpha series) but uses
+8 000-point datasets: index construction cost per object is what this PR
+removes, and at the paper's 1 000 points the join kernels -- identical on
+both sides of the comparison -- would drown the signal in timer noise.
+The x-axis is the first four points of the paper's cluster-count axis;
+at 128 clusters UpJoin's recursion makes the (path-independent) join
+kernels dominate the cell, which measures the kernels, not the harness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import statistics
+
+from repro.api import AdHocJoinSession
+from repro.datasets.dataset import SpatialDataset
+from repro.datasets.workloads import WorkloadSpec
+from repro.experiments.harness import (
+    ExperimentConfig,
+    ExperimentResult,
+    SeriesResult,
+    build_datasets,
+    run_experiment,
+)
+from repro.index.aggregate_rtree import AggregateRTree
+from repro.server.server import SpatialServer
+
+#: Dataset cardinality of the benchmark sweep (8x the paper's figures).
+BENCH_N = 8000
+
+
+def _bench_workload(x, seed) -> Tuple[SpatialDataset, SpatialDataset, WorkloadSpec]:
+    """fig6a workload shape (two clustered synthetic sets), at BENCH_N points."""
+    spec = WorkloadSpec(
+        r_size=BENCH_N,
+        s_size=BENCH_N,
+        clusters=int(x),
+        seed=seed,
+        epsilon=0.005,
+        buffer_size=800,
+    )
+    dataset_r, dataset_s = build_datasets(spec)
+    return dataset_r, dataset_s, spec
+
+
+def bench_config() -> ExperimentConfig:
+    """Figure 6(a)'s alpha sweep on the benchmark-sized workload."""
+    alphas = (0.15, 0.20, 0.25, 0.30)
+    return ExperimentConfig(
+        name="bench_fig6a",
+        description="fig6a alpha sweep, 8000-point datasets (harness benchmark)",
+        x_values=(1, 2, 4, 8),
+        x_label="clusters",
+        series={f"alpha={a:g}": {"algorithm": "upjoin", "alpha": a} for a in alphas},
+        workload=_bench_workload,
+        seeds=(0, 1),
+        buffer_size=800,
+    )
+
+
+def _run_experiment_legacy(config: ExperimentConfig) -> ExperimentResult:
+    """The pre-PR serial sweep, replayed for the baseline measurement.
+
+    Series-major loops; every run regenerates the workload and rebuilds
+    both servers through the entry-list bulk-load path (one Python ``Rect``
+    per object), exactly as the seed harness did.  Results must be --
+    and are asserted to be -- bit-identical to the cached path.
+    """
+    result = ExperimentResult(config=config)
+    for label, run_kwargs in config.series.items():
+        series = SeriesResult(label=label)
+        for x in config.x_values:
+            totals: List[float] = []
+            pair_counts: List[float] = []
+            for seed in config.seeds:
+                dataset_r, dataset_s, spec = config.workload(x, seed)
+                named_r = dataset_r.rename("R")
+                named_s = dataset_s.rename("S")
+                server_r = SpatialServer(
+                    named_r,
+                    name="R",
+                    index=AggregateRTree(list(iter(named_r)), max_entries=16),
+                )
+                server_s = SpatialServer(
+                    named_s,
+                    name="S",
+                    index=AggregateRTree(list(iter(named_s)), max_entries=16),
+                )
+                session = AdHocJoinSession(
+                    dataset_r,
+                    dataset_s,
+                    buffer_size=spec.buffer_size or config.buffer_size,
+                    config=config.config,
+                    indexed=config.indexed,
+                    servers=(server_r, server_s),
+                )
+                kwargs = dict(run_kwargs)
+                kwargs.setdefault("epsilon", spec.epsilon)
+                kwargs.setdefault("bucket_queries", spec.bucket_queries)
+                run = session.run(**kwargs)
+                totals.append(float(run.total_bytes))
+                pair_counts.append(float(run.num_pairs))
+            series.mean_bytes.append(statistics.fmean(totals))
+            series.std_bytes.append(
+                statistics.pstdev(totals) if len(totals) > 1 else 0.0
+            )
+            series.mean_pairs.append(statistics.fmean(pair_counts))
+        result.series[label] = series
+    return result
+
+
+def _snapshot(result: ExperimentResult) -> Dict[str, Tuple]:
+    return {
+        label: (
+            tuple(series.mean_bytes),
+            tuple(series.std_bytes),
+            tuple(series.mean_pairs),
+        )
+        for label, series in result.series.items()
+    }
+
+
+def _best_time(fn, repeats: int = 2) -> Tuple[float, object]:
+    """Minimum wall time over ``repeats`` runs, plus the last return value."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+def test_experiment_speedup_record():
+    """Record cold-serial vs cached(+parallel) sweep wall time as JSON."""
+    config = bench_config()
+    workers: Optional[int] = os.cpu_count() or 1
+    if workers < 2:
+        workers = None  # single-core machine: the pool would only add overhead
+
+    cold_s, cold_result = _best_time(lambda: _run_experiment_legacy(config))
+    cached_s, cached_result = _best_time(lambda: run_experiment(config))
+    if workers is not None:
+        parallel_s, parallel_result = _best_time(
+            lambda: run_experiment(config, workers=workers)
+        )
+    else:
+        parallel_s, parallel_result = cached_s, cached_result
+
+    # The optimisation contract: not a byte of difference, any path.
+    assert _snapshot(cold_result) == _snapshot(cached_result) == _snapshot(
+        parallel_result
+    )
+
+    new_s = min(cached_s, parallel_s)
+    record = {
+        "description": (
+            "experiment harness wall-clock: pre-PR serial path (per-run "
+            "entry-list server builds) vs shared-cache array-native builds "
+            "(+ process-pool fan-out on multi-core machines); best of 2"
+        ),
+        "sweep": {
+            "name": config.name,
+            "series": len(config.series),
+            "x_values": list(config.x_values),
+            "seeds": list(config.seeds),
+            "dataset_points": BENCH_N,
+            "runs": len(config.series) * len(config.x_values) * len(config.seeds),
+        },
+        "workers": workers or 1,
+        "cold_serial_s": round(cold_s, 4),
+        "cached_serial_s": round(cached_s, 4),
+        "cached_parallel_s": round(parallel_s, 4),
+        "speedup": round(cold_s / new_s, 2),
+    }
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "experiment_speedup.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+
+    assert record["speedup"] >= 3.0, (
+        f"execution-layer speedup regressed: {record['speedup']}x "
+        f"(cold {cold_s:.3f}s vs best new {new_s:.3f}s)"
+    )

@@ -121,7 +121,16 @@ class AdHocJoinSession:
         config: Optional[NetworkConfig] = None,
         indexed: bool = True,
         index_fanout: int = 16,
+        servers: Optional[Tuple[SpatialServer, SpatialServer]] = None,
     ) -> None:
+        """``servers`` accepts a pre-built ``(server_r, server_s)`` pair.
+
+        Servers are read-only during a join (their query-statistics counters
+        are reset by every :meth:`run`), so a pair built once -- e.g. by the
+        experiment harness's workload cache -- can back many sessions and
+        algorithms without rebuilding the R-trees.  Channels and the device
+        are created fresh for this session regardless.
+        """
         self.dataset_r = dataset_r
         self.dataset_s = dataset_s
         self.config = config or NetworkConfig()
@@ -133,6 +142,7 @@ class AdHocJoinSession:
             config=self.config,
             indexed=indexed,
             index_fanout=index_fanout,
+            servers=servers,
         )
         self._history: List[JoinResult] = []
 

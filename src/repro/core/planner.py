@@ -48,11 +48,27 @@ def build_session_stack(
     config: Optional[NetworkConfig] = None,
     indexed: bool = False,
     index_fanout: int = 16,
+    servers: Optional[Tuple[SpatialServer, SpatialServer]] = None,
 ) -> Tuple[SpatialServer, SpatialServer, MobileDevice]:
-    """Build the two servers, the metered connections and the device."""
+    """Build the two servers, the metered connections and the device.
+
+    ``servers`` injects pre-built ``(server_r, server_s)`` instances --
+    server-side state (dataset, aggregate R-tree, flattened snapshots) is
+    immutable during a join, so the experiment harness builds each server
+    once per workload and shares it across algorithm runs.  The metered
+    channels and the device are always fresh, so byte accounting starts
+    from zero either way.
+    """
     config = config or NetworkConfig()
-    server_r = SpatialServer(dataset_r.rename("R"), name="R", index_fanout=index_fanout)
-    server_s = SpatialServer(dataset_s.rename("S"), name="S", index_fanout=index_fanout)
+    if servers is None:
+        server_r = SpatialServer(
+            dataset_r.rename("R"), name="R", index_fanout=index_fanout
+        )
+        server_s = SpatialServer(
+            dataset_s.rename("S"), name="S", index_fanout=index_fanout
+        )
+    else:
+        server_r, server_s = servers
     pair = ServerPair.connect(server_r, server_s, config=config, indexed=indexed)
     device = MobileDevice(pair, buffer_size=buffer_size)
     return server_r, server_s, device

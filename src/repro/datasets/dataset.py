@@ -173,8 +173,19 @@ class SpatialDataset:
         )
 
     def entries(self) -> List[Tuple[Rect, int]]:
-        """All ``(Rect, oid)`` pairs (materialised; used to build indexes)."""
-        return list(iter(self))
+        """All ``(Rect, oid)`` pairs, materialised once and cached.
+
+        The servers build their indexes straight from the ``mbrs`` array;
+        this list form remains for the incremental-construction APIs, the
+        oracles and the tests.  Returns a fresh shallow copy per call (the
+        tuples are shared, the list is the caller's), preserving the
+        pre-cache aliasing contract.
+        """
+        cached = self.__dict__.get("_entries_cache")
+        if cached is None:
+            cached = list(iter(self))
+            object.__setattr__(self, "_entries_cache", cached)
+        return list(cached)
 
     def _index_of(self, oid: int) -> int:
         idx = np.nonzero(self.oids == oid)[0]

@@ -17,6 +17,8 @@ from repro.experiments.harness import (
     ExperimentConfig,
     ExperimentResult,
     SeriesResult,
+    WorkloadCache,
+    WorkloadCell,
     run_experiment,
     run_single,
 )
@@ -43,6 +45,8 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
     "SeriesResult",
+    "WorkloadCache",
+    "WorkloadCell",
     "run_experiment",
     "run_single",
     "figure_6a",

@@ -64,14 +64,25 @@ class Rect:
 
     @staticmethod
     def bounding(rects: Iterable["Rect"]) -> "Rect":
-        """Minimum bounding rectangle of a non-empty rectangle collection."""
-        it = iter(rects)
-        try:
-            first = next(it)
-        except StopIteration:
-            raise ValueError("cannot bound an empty rectangle collection") from None
+        """Minimum bounding rectangle of a non-empty rectangle collection.
+
+        Large collections are reduced through the vectorised
+        :mod:`~repro.geometry.rect_array` kernels; short ones (the common
+        R-tree node case) keep the scalar loop, which is faster below the
+        array-construction break-even.  min/max reductions are exact, so
+        both paths return bit-identical bounds.
+        """
+        if not isinstance(rects, (list, tuple)):
+            rects = list(rects)
+        if not rects:
+            raise ValueError("cannot bound an empty rectangle collection")
+        if len(rects) > 32:
+            from repro.geometry import rect_array  # deferred: avoids a cycle
+
+            return rect_array.bounding_rect(rect_array.rects_to_array(rects))
+        first = rects[0]
         xmin, ymin, xmax, ymax = first.xmin, first.ymin, first.xmax, first.ymax
-        for r in it:
+        for r in rects[1:]:
             xmin = min(xmin, r.xmin)
             ymin = min(ymin, r.ymin)
             xmax = max(xmax, r.xmax)

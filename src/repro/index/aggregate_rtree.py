@@ -71,20 +71,34 @@ class AggregateRTree:
         oids: Optional[Sequence[int]] = None,
         max_entries: int = 16,
     ) -> "AggregateRTree":
-        n = mbrs.shape[0]
-        if oids is None:
-            oids = range(n)
-        entries = [
-            (Rect(float(m[0]), float(m[1]), float(m[2]), float(m[3])), int(oid))
-            for m, oid in zip(mbrs, oids)
-        ]
-        return cls(entries, max_entries=max_entries)
+        """Build from an ``(N, 4)`` MBR array via the array-native STR path.
+
+        Structurally identical to ``AggregateRTree(entries)`` over the same
+        rows, but never materialises per-object :class:`Rect` instances --
+        this is the construction path the servers use.
+        """
+        return cls._from_tree(
+            RTree.from_mbr_array(mbrs, oids, max_entries=max_entries)
+        )
+
+    @classmethod
+    def _from_tree(cls, tree: RTree) -> "AggregateRTree":
+        self = cls.__new__(cls)
+        self._tree = tree
+        self._agg = {}
+        self._build_aggregates(tree.root)
+        return self
 
     def _build_aggregates(self, node: RTreeNode) -> _AggInfo:
         if node.is_leaf:
+            # Vectorised leaf aggregates: one areas() kernel per leaf instead
+            # of a per-entry generator re-reading four Rect attributes per
+            # object.  The sequential sum over the list keeps float rounding
+            # identical to the scalar path.
+            mbrs, _ = node.leaf_arrays()
             info = _AggInfo(
-                count=len(node.entries),
-                total_mbr_area=float(sum(r.area for r, _ in node.entries)),
+                count=int(mbrs.shape[0]),
+                total_mbr_area=float(sum(rect_array.areas(mbrs).tolist())),
             )
         else:
             count = 0

@@ -17,7 +17,7 @@ via :meth:`RTree.level_mbrs`.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -29,39 +29,90 @@ from repro.geometry.rect import Rect
 __all__ = ["RTree", "RTreeNode", "RTreeStats"]
 
 
-@dataclass
 class RTreeNode:
     """A node of the R-tree.
 
     Leaf nodes store ``entries`` as ``(Rect, oid)`` tuples; internal nodes
     store ``children`` (other nodes).  ``mbr`` is always the tight bound of
     the node's content and is maintained incrementally.
+
+    A leaf holds its content in one of two equivalent forms: the ``entries``
+    list of ``(Rect, oid)`` tuples, or the ``(mbrs, oids)`` array pair in
+    ``_leaf_cache``.  Array-bulk-loaded leaves start array-only and
+    materialise the tuple list lazily on first ``entries`` access, so the
+    hot construction path never builds per-object ``Rect`` instances.
     """
 
-    is_leaf: bool
-    level: int = 0
-    mbr: Optional[Rect] = None
-    entries: List[Tuple[Rect, int]] = field(default_factory=list)
-    children: List["RTreeNode"] = field(default_factory=list)
-    #: Lazily built ``(mbrs, oids)`` arrays of a leaf's entries, used by the
-    #: vectorised query paths; invalidated whenever ``entries`` mutates.
-    _leaf_cache: Optional[Tuple[np.ndarray, np.ndarray]] = field(
-        default=None, repr=False, compare=False
-    )
+    __slots__ = ("is_leaf", "level", "mbr", "children", "_entries", "_leaf_cache")
+
+    def __init__(
+        self,
+        is_leaf: bool,
+        level: int = 0,
+        mbr: Optional[Rect] = None,
+        entries: Optional[List[Tuple[Rect, int]]] = None,
+        children: Optional[List["RTreeNode"]] = None,
+    ) -> None:
+        self.is_leaf = is_leaf
+        self.level = level
+        self.mbr = mbr
+        self.children: List["RTreeNode"] = children if children is not None else []
+        self._entries: Optional[List[Tuple[Rect, int]]] = (
+            entries if entries is not None else []
+        )
+        #: Lazily built ``(mbrs, oids)`` arrays of a leaf's entries, used by
+        #: the vectorised query paths; invalidated whenever ``entries``
+        #: mutates.  For array-bulk-loaded leaves this is the authoritative
+        #: storage and ``_entries`` is None until first requested.
+        self._leaf_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    @classmethod
+    def leaf_from_arrays(cls, mbrs: np.ndarray, oids: np.ndarray) -> "RTreeNode":
+        """A level-0 leaf backed directly by ``(N, 4)`` MBR / oid arrays."""
+        node = cls(is_leaf=True, level=0)
+        node._entries = None
+        node._leaf_cache = (mbrs, oids)
+        if mbrs.shape[0]:
+            node.mbr = rect_array.bounding_rect(mbrs)
+        return node
+
+    @property
+    def entries(self) -> List[Tuple[Rect, int]]:
+        """Leaf entries as ``(Rect, oid)`` tuples (materialised on demand)."""
+        if self._entries is None:
+            mbrs, oids = self._leaf_cache  # type: ignore[misc]
+            self._entries = [
+                (Rect(float(m[0]), float(m[1]), float(m[2]), float(m[3])), int(o))
+                for m, o in zip(mbrs, oids)
+            ]
+        return self._entries
+
+    @entries.setter
+    def entries(self, value: List[Tuple[Rect, int]]) -> None:
+        self._entries = list(value)
+        self._leaf_cache = None
+
+    def num_entries(self) -> int:
+        """Leaf entry count without materialising the tuple list."""
+        if self._entries is not None:
+            return len(self._entries)
+        if self._leaf_cache is not None:
+            return int(self._leaf_cache[1].shape[0])
+        return 0
 
     def fanout(self) -> int:
         """Number of entries (leaf) or children (internal)."""
-        return len(self.entries) if self.is_leaf else len(self.children)
+        return self.num_entries() if self.is_leaf else len(self.children)
 
     def leaf_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
         """The leaf's entries as parallel ``(N, 4)`` MBR / oid arrays."""
         if self._leaf_cache is None:
-            if self.entries:
+            if self._entries:
                 mbrs = np.array(
-                    [(r.xmin, r.ymin, r.xmax, r.ymax) for r, _ in self.entries],
+                    [(r.xmin, r.ymin, r.xmax, r.ymax) for r, _ in self._entries],
                     dtype=np.float64,
                 )
-                oids = np.array([oid for _, oid in self.entries], dtype=np.int64)
+                oids = np.array([oid for _, oid in self._entries], dtype=np.int64)
             else:
                 mbrs = np.empty((0, 4), dtype=np.float64)
                 oids = np.empty(0, dtype=np.int64)
@@ -69,11 +120,21 @@ class RTreeNode:
         return self._leaf_cache
 
     def invalidate_leaf_cache(self) -> None:
+        if self._entries is None and self._leaf_cache is not None:
+            # Array-backed leaf: materialise before dropping the arrays so
+            # the content survives the invalidation.
+            _ = self.entries
         self._leaf_cache = None
 
     def recompute_mbr(self) -> None:
         """Recompute the node MBR from its content."""
         if self.is_leaf:
+            if self._entries is None and self._leaf_cache is not None:
+                mbrs, _ = self._leaf_cache
+                self.mbr = (
+                    rect_array.bounding_rect(mbrs) if mbrs.shape[0] else None
+                )
+                return
             rects = [r for r, _ in self.entries]
         else:
             rects = [c.mbr for c in self.children if c.mbr is not None]
@@ -82,7 +143,7 @@ class RTreeNode:
     def subtree_object_count(self) -> int:
         """Number of leaf entries in the subtree (O(nodes), used by stats/tests)."""
         if self.is_leaf:
-            return len(self.entries)
+            return self.num_entries()
         return sum(child.subtree_object_count() for child in self.children)
 
 
@@ -174,16 +235,37 @@ class RTree:
         mbrs: np.ndarray,
         oids: Optional[Sequence[int]] = None,
         max_entries: int = 16,
+        min_entries: Optional[int] = None,
     ) -> "RTree":
-        """Bulk load from an ``(N, 4)`` MBR array (oids default to ``range(N)``)."""
-        n = mbrs.shape[0]
+        """Bulk load from an ``(N, 4)`` MBR array (oids default to ``range(N)``).
+
+        This is the array-native STR path: tiling is computed with stable
+        argsorts over the centre coordinate arrays and the leaves are backed
+        directly by row slices of the input, so no per-object ``Rect`` is
+        ever created.  The resulting tree is structurally identical to
+        ``bulk_load(list_of_entries)`` over the same rows in the same order
+        (both use stable sorts over the same centre keys).
+        """
+        arr = np.ascontiguousarray(np.asarray(mbrs, dtype=np.float64))
+        n = arr.shape[0]
+        tree = cls(max_entries=max_entries, min_entries=min_entries)
+        if n == 0:
+            return tree
         if oids is None:
-            oids = range(n)
-        entries = [
-            (Rect(float(m[0]), float(m[1]), float(m[2]), float(m[3])), int(oid))
-            for m, oid in zip(mbrs, oids)
+            oid_arr = np.arange(n, dtype=np.int64)
+        else:
+            oid_arr = np.asarray(oids, dtype=np.int64)
+            if oid_arr.shape != (n,):
+                raise ValueError("oids must be a 1D array parallel to mbrs")
+        leaves = [
+            RTreeNode.leaf_from_arrays(
+                np.ascontiguousarray(arr[idx]), np.ascontiguousarray(oid_arr[idx])
+            )
+            for idx in _str_tile_indices(arr, max_entries)
         ]
-        return cls.bulk_load(entries, max_entries=max_entries)
+        tree._size = n
+        tree.root = tree._pack_upwards(leaves)
+        return tree
 
     # ------------------------------------------------------------------ #
     # queries
@@ -341,7 +423,7 @@ class RTree:
             node_count += 1
             if node.is_leaf:
                 leaf_count += 1
-                leaf_fill += len(node.entries)
+                leaf_fill += node.num_entries()
             else:
                 internal_fill += len(node.children)
         internal_count = node_count - leaf_count
@@ -592,27 +674,39 @@ def _str_tiles(
 ) -> Iterator[List[Tuple[Rect, object]]]:
     """Sort-Tile-Recursive grouping of entries into chunks of ``capacity``.
 
-    Entries are sorted by centre x, cut into vertical slices of
-    ``ceil(sqrt(N / capacity))`` groups, each slice sorted by centre y and
-    cut into runs of ``capacity``.
+    Delegates the tiling to :func:`_str_tile_indices` over the entry MBRs,
+    so the tiling math exists exactly once; stable argsort over the same
+    centre keys reproduces what stable ``sorted()`` calls would yield.
     """
-    n = len(entries)
+    if not entries:
+        return
+    keys = np.array(
+        [(r.xmin, r.ymin, r.xmax, r.ymax) for r, _ in entries], dtype=np.float64
+    )
+    for idx in _str_tile_indices(keys, capacity):
+        yield [entries[i] for i in idx]
+
+
+def _str_tile_indices(mbrs: np.ndarray, capacity: int) -> Iterator[np.ndarray]:
+    """Array-native Sort-Tile-Recursive grouping over an ``(N, 4)`` MBR array.
+
+    Rows are sorted by centre x (stable), cut into vertical slices of
+    ``ceil(sqrt(N / capacity))`` groups, each slice sorted by centre y
+    (stable) and cut into runs of ``capacity``; yields one index array per
+    leaf.  Equal-key ties break in input order, so entry-list and array
+    construction build structurally identical trees.
+    """
+    n = mbrs.shape[0]
     if n == 0:
         return
     leaf_count = math.ceil(n / capacity)
     slice_count = max(1, math.ceil(math.sqrt(leaf_count)))
     slice_size = math.ceil(n / slice_count)
-
-    def cx(item: Tuple[Rect, object]) -> float:
-        r = item[0]
-        return (r.xmin + r.xmax) / 2.0
-
-    def cy(item: Tuple[Rect, object]) -> float:
-        r = item[0]
-        return (r.ymin + r.ymax) / 2.0
-
-    by_x = sorted(entries, key=cx)
+    cx = (mbrs[:, 0] + mbrs[:, 2]) / 2.0
+    cy = (mbrs[:, 1] + mbrs[:, 3]) / 2.0
+    order_x = np.argsort(cx, kind="stable")
     for s in range(0, n, slice_size):
-        vertical = sorted(by_x[s : s + slice_size], key=cy)
-        for t in range(0, len(vertical), capacity):
+        vertical = order_x[s : s + slice_size]
+        vertical = vertical[np.argsort(cy[vertical], kind="stable")]
+        for t in range(0, vertical.shape[0], capacity):
             yield vertical[t : t + capacity]

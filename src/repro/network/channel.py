@@ -17,6 +17,7 @@ for debugging and for the protocol-level discrete-event simulation.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -51,16 +52,15 @@ class TrafficLog:
             self.records.append(record)
 
     def count_by_kind(self) -> Dict[MessageKind, int]:
-        out: Dict[MessageKind, int] = {}
-        for rec in self.records:
-            out[rec.kind] = out.get(rec.kind, 0) + 1
-        return out
+        """Message counts per kind (single C-level pass)."""
+        return dict(Counter(rec.kind for rec in self.records))
 
     def bytes_by_kind(self) -> Dict[MessageKind, int]:
-        out: Dict[MessageKind, int] = {}
+        """Wire-byte totals per kind (single pass)."""
+        out: Counter = Counter()
         for rec in self.records:
-            out[rec.kind] = out.get(rec.kind, 0) + rec.wire_bytes
-        return out
+            out[rec.kind] += rec.wire_bytes
+        return dict(out)
 
     def clear(self) -> None:
         self.records.clear()
@@ -162,14 +162,18 @@ class Channel:
         else:
             self.downlink_bytes += wire
             self.downlink_packets += packets
-        self.log.add(
-            TrafficRecord(
-                direction=direction,
-                kind=message.kind,
-                payload_bytes=payload,
-                wire_bytes=wire,
-                packets=packets,
-                label=label,
+        # Disabled fast path: skip TrafficRecord construction entirely --
+        # byte/packet totals above are unaffected, so metering-off runs pay
+        # nothing per message beyond the counter updates.
+        if self.log.enabled:
+            self.log.add(
+                TrafficRecord(
+                    direction=direction,
+                    kind=message.kind,
+                    payload_bytes=payload,
+                    wire_bytes=wire,
+                    packets=packets,
+                    label=label,
+                )
             )
-        )
         return wire

@@ -70,12 +70,25 @@ class SpatialServer(SpatialServerInterface):
     """
 
     def __init__(
-        self, dataset: SpatialDataset, name: str = "server", index_fanout: int = 16
+        self,
+        dataset: SpatialDataset,
+        name: str = "server",
+        index_fanout: int = 16,
+        index: Optional[AggregateRTree] = None,
     ) -> None:
         self.dataset = dataset
         self.name = name
         self.stats = ServerQueryStats()
-        self._index = AggregateRTree(dataset.entries(), max_entries=index_fanout)
+        # Array-native bulk load straight off the dataset's MBR array; no
+        # per-object Rect materialisation.  ``index`` lets callers inject a
+        # pre-built (or legacy-built) aggregate tree.
+        self._index = (
+            index
+            if index is not None
+            else AggregateRTree.from_mbr_array(
+                dataset.mbrs, dataset.oids, max_entries=index_fanout
+            )
+        )
         # Sorted oid -> row lookup for assembling result payloads without a
         # per-object dict probe.
         oids = np.asarray(dataset.oids, dtype=np.int64)

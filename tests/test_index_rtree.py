@@ -74,6 +74,28 @@ class TestRTreeConstruction:
         tree = RTree.from_mbr_array(mbrs, oids=[10, 20])
         assert sorted(tree.window_query(Rect(0, 0, 1, 1))) == [10, 20]
 
+    def test_from_mbr_array_matches_entry_bulk_load(self):
+        """The array-native STR path builds structurally identical trees."""
+        entries = _random_entries(500, seed=12)
+        mbrs = np.array([r.as_tuple() for r, _ in entries])
+        oids = np.array([oid for _, oid in entries])
+        by_entries = RTree.bulk_load(entries, max_entries=8)
+        by_arrays = RTree.from_mbr_array(mbrs, oids, max_entries=8)
+        by_arrays.validate()
+        assert by_entries.stats() == by_arrays.stats()
+        assert [n.mbr for n in by_entries.iter_nodes()] == [
+            n.mbr for n in by_arrays.iter_nodes()
+        ]
+        assert list(by_entries.iter_entries()) == list(by_arrays.iter_entries())
+
+    def test_from_mbr_array_accepts_insert_after_load(self):
+        tree = RTree.from_mbr_array(
+            np.array([r.as_tuple() for r, _ in _random_entries(100, seed=3)])
+        )
+        tree.insert(Rect(0.5, 0.5, 0.5, 0.5), 1000)
+        tree.validate()
+        assert 1000 in tree.window_query(Rect(0.49, 0.49, 0.51, 0.51))
+
 
 class TestRTreeQueries:
     @pytest.mark.parametrize("builder", ["insert", "bulk"])
