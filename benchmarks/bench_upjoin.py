@@ -1,0 +1,132 @@
+"""Wall-clock record of UpJoin's frontier executor vs the recursive path.
+
+``test_upjoin_speedup_record`` times the same high-cluster-count sweep in
+both execution modes:
+
+* **recursive** -- the seed depth-first execution: one exchange per COUNT,
+  per-window operator invocations, one plane-sweep kernel call per grid
+  bucket per window, scalar COUNTs through the per-node aggregate-tree
+  recursion; and
+* **frontier** -- the level-order executor: the COUNT requests of every
+  window at a recursion depth batched into one exchange per server
+  (answered by the flattened snapshot in a vectorised descent), operator
+  leaves executed through the batch HBSJ/NLSJ pipelines, and all bucket
+  sweeps of a level concatenated into one segmented kernel call.
+
+The configuration is the regime the ROADMAP names as the post-PR-2
+bottleneck: many clusters (128, the top of the paper's x-axis) over a
+small buffer, which drives the deepest operator recursion and the largest
+number of tiny per-window exchanges and kernel calls.
+
+The two modes are asserted bit-identical (pairs and bytes) before any
+timing is recorded, and the result lands in
+``benchmarks/results/upjoin_speedup.json`` so the perf trajectory stays
+machine-readable per PR, mirroring the kernel and harness records.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.api import AdHocJoinSession
+from repro.datasets.workloads import WorkloadSpec
+from repro.experiments.harness import build_datasets
+
+#: Dataset cardinality (4x the paper's figures: at 1 000 points the
+#: workload fits almost entirely in planner overhead and timer noise).
+BENCH_N = 4000
+#: The paper's highest cluster count -- UpJoin's worst recursion case.
+BENCH_CLUSTERS = 128
+#: Figure 7(a)'s small buffer: forces HBSJ's internal quadrant recursion.
+BENCH_BUFFER = 100
+BENCH_SEEDS = (0, 1)
+
+
+def _sessions() -> List[Tuple[AdHocJoinSession, WorkloadSpec]]:
+    out = []
+    for seed in BENCH_SEEDS:
+        spec = WorkloadSpec(
+            r_size=BENCH_N,
+            s_size=BENCH_N,
+            clusters=BENCH_CLUSTERS,
+            seed=seed,
+            epsilon=0.005,
+            buffer_size=BENCH_BUFFER,
+        )
+        dataset_r, dataset_s = build_datasets(spec)
+        out.append(
+            (AdHocJoinSession(dataset_r, dataset_s, buffer_size=BENCH_BUFFER), spec)
+        )
+    return out
+
+
+def _run_sweep(sessions, execution: str) -> Tuple[float, List[Tuple]]:
+    """One full sweep in one execution mode: wall time + result snapshot."""
+    snapshots = []
+    t0 = time.perf_counter()
+    for session, spec in sessions:
+        result = session.run(
+            algorithm="upjoin",
+            execution=execution,
+            kind="distance",
+            epsilon=spec.epsilon,
+            seed=0,
+            trace=False,
+        )
+        snapshots.append(
+            (result.total_bytes, result.bytes_r, result.bytes_s, result.sorted_pairs())
+        )
+    return time.perf_counter() - t0, snapshots
+
+
+def test_upjoin_speedup_record():
+    """Record recursive vs frontier sweep wall time as JSON."""
+    sessions = _sessions()
+    # Warm both paths once (index snapshots, numpy caches), then take the
+    # best of three sweeps per mode.
+    _run_sweep(sessions, "recursive")
+    _run_sweep(sessions, "frontier")
+    recursive_s = float("inf")
+    frontier_s = float("inf")
+    recursive_snap = frontier_snap = None
+    for _ in range(3):
+        t, snap = _run_sweep(sessions, "recursive")
+        recursive_s = min(recursive_s, t)
+        recursive_snap = snap
+        t, snap = _run_sweep(sessions, "frontier")
+        frontier_s = min(frontier_s, t)
+        frontier_snap = snap
+
+    # The optimisation contract: not a byte (or pair) of difference.
+    assert recursive_snap == frontier_snap
+
+    record = {
+        "description": (
+            "UpJoin wall-clock at the high-cluster-count configuration: "
+            "depth-first recursive execution (per-window exchanges and "
+            "kernels) vs level-order frontier execution (batched COUNT "
+            "exchanges per depth, batch HBSJ/NLSJ operators, segmented "
+            "sweep kernel); best of 3 sweeps"
+        ),
+        "workload": {
+            "dataset_points": BENCH_N,
+            "clusters": BENCH_CLUSTERS,
+            "buffer_size": BENCH_BUFFER,
+            "epsilon": 0.005,
+            "seeds": list(BENCH_SEEDS),
+        },
+        "recursive_s": round(recursive_s, 4),
+        "frontier_s": round(frontier_s, 4),
+        "speedup": round(recursive_s / frontier_s, 2),
+    }
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "upjoin_speedup.json").write_text(json.dumps(record, indent=2) + "\n")
+
+    assert record["speedup"] >= 3.0, (
+        f"frontier speedup regressed: {record['speedup']}x "
+        f"(recursive {recursive_s:.3f}s vs frontier {frontier_s:.3f}s)"
+    )

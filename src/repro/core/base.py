@@ -273,10 +273,18 @@ class MobileJoinAlgorithm(ABC):
         detail: str = "",
         count_r: Optional[int] = None,
         count_s: Optional[int] = None,
+        sink: Optional[List[TraceEvent]] = None,
     ) -> None:
-        """Append a trace event (no-op when tracing is disabled)."""
+        """Append a trace event (no-op when tracing is disabled).
+
+        ``sink`` redirects the event into a caller-owned buffer instead of
+        the global trace; UpJoin's frontier executor buffers each window's
+        events and splices them into the trace in window order, so the
+        per-depth decision log is identical to the depth-first execution
+        even though queries are batched across windows.
+        """
         if self.params.trace:
-            self._trace.append(
+            (self._trace if sink is None else sink).append(
                 TraceEvent(
                     depth=depth,
                     window=window,

@@ -10,17 +10,54 @@ The derivation is exact for point datasets.  For extended objects
 derived value becomes an *underestimate*; it is then only used for cost
 estimation, and whenever it would drive a pruning decision (derived value
 of zero) a real COUNT query is issued so no result pair can ever be lost.
+
+The retrieval logic is written once as a *request generator*
+(:func:`quadrant_count_steps`): it yields :class:`CountRequest` batches and
+receives the counts, so the same decision code can be driven either
+depth-first (one exchange per window, :func:`fetch_quadrant_counts`) or by
+UpJoin's level-order frontier executor, which concatenates the requests of
+every window at a recursion depth into one batched COUNT exchange per
+server.  Both drivers issue the same queries with the same payloads, so the
+metered bytes are bit-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Generator, List, Optional, Sequence, Tuple
 
 from repro.device.pda import MobileDevice
 from repro.geometry.rect import Rect
 
-__all__ = ["QuadrantCounts", "fetch_quadrant_counts", "estimate_quadrant_counts"]
+__all__ = [
+    "CountRequest",
+    "QuadrantCounts",
+    "execute_count_requests",
+    "fetch_quadrant_counts",
+    "estimate_quadrant_counts",
+    "quadrant_count_steps",
+]
+
+
+@dataclass(frozen=True)
+class CountRequest:
+    """One batch of COUNT queries a planning step wants answered.
+
+    ``rects`` are *raw* query windows (all margins already applied).
+    ``scalar`` marks requests the depth-first reference driver must issue as
+    individual ``count_window`` calls to stay true to the seed execution;
+    the frontier driver batches scalar and non-scalar requests alike (the
+    wire accounting is per query either way, so the bytes cannot differ).
+    """
+
+    server: str
+    rects: Tuple[Rect, ...]
+    scalar: bool = False
+
+
+#: The protocol spoken by planning-step generators: yield a list of
+#: :class:`CountRequest` and receive one list of counts per request.
+CountSteps = Generator[List[CountRequest], List[List[int]], "QuadrantCounts"]
 
 
 @dataclass(frozen=True)
@@ -47,6 +84,71 @@ class QuadrantCounts:
 
     def as_int_counts(self) -> Tuple[int, int, int, int]:
         return tuple(int(round(c)) for c in self.counts)  # type: ignore[return-value]
+
+
+def quadrant_count_steps(
+    server_name: str,
+    window: Rect,
+    parent_count: int,
+    derive_fourth: bool = True,
+    margin: float = 0.0,
+) -> CountSteps:
+    """Request-generator form of the quadrant-statistics retrieval.
+
+    Yields :class:`CountRequest` batches and receives the counts; returns
+    the assembled :class:`QuadrantCounts`.  See
+    :func:`fetch_quadrant_counts` for the parameter semantics.
+    """
+    quadrants = tuple(window.quadrants())
+    probes = [q.expanded(margin) if margin > 0 else q for q in quadrants]
+    # The three (or four) unconditional COUNTs are shipped as one batch: the
+    # same queries in the same order, answered in a single index descent.
+    lead = probes[:3] if derive_fourth else probes
+    lead_counts = (yield [CountRequest(server_name, tuple(lead))])[0]
+    counts: List[float] = [float(c) for c in lead_counts]
+    exact: List[bool] = [True] * len(counts)
+    issued = len(counts)
+    if derive_fourth:
+        derived = parent_count - sum(counts)
+        if derived > 0:
+            counts.append(float(derived))
+            exact.append(False)
+        else:
+            # Derived value suspicious (0 or negative, possible for extended
+            # objects or overlapping expanded quadrants): confirm with a
+            # real query before anyone prunes on it.
+            real = (
+                yield [CountRequest(server_name, (probes[3],), scalar=True)]
+            )[0][0]
+            issued += 1
+            counts.append(float(real))
+            exact.append(True)
+    return QuadrantCounts(
+        window=window,
+        quadrants=quadrants,  # type: ignore[arg-type]
+        counts=tuple(counts),  # type: ignore[arg-type]
+        exact=tuple(exact),  # type: ignore[arg-type]
+        queries_issued=issued,
+    )
+
+
+def execute_count_requests(
+    device: MobileDevice, requests: Sequence[CountRequest]
+) -> List[List[int]]:
+    """Satisfy count requests immediately, exactly as the seed code did.
+
+    Scalar requests become individual ``count_window`` exchanges; the rest
+    go through the device's batched endpoint.  This is the depth-first
+    reference driver shared by :func:`fetch_quadrant_counts` and UpJoin's
+    ``execution="recursive"`` mode.
+    """
+    out: List[List[int]] = []
+    for req in requests:
+        if req.scalar:
+            out.append([device.count_window(req.server, r) for r in req.rects])
+        else:
+            out.append(device.count_windows(req.server, list(req.rects)))
+    return out
 
 
 def fetch_quadrant_counts(
@@ -79,44 +181,29 @@ def fetch_quadrant_counts(
         (``epsilon / 2`` for distance joins), keeping the statistics
         consistent with the windows the physical operators download.
     """
-    quadrants = tuple(window.quadrants())
-    probes = [q.expanded(margin) if margin > 0 else q for q in quadrants]
-    counts: List[float] = []
-    exact: List[bool] = []
-    # The three (or four) unconditional COUNTs are shipped as one batch: the
-    # same queries in the same order, answered in a single index descent.
-    lead = probes[:3] if derive_fourth else probes
-    counts = [float(c) for c in device.count_windows(server_name, lead)]
-    exact = [True] * len(counts)
-    issued = len(counts)
-    if derive_fourth:
-        derived = parent_count - sum(counts)
-        if derived > 0:
-            counts.append(float(derived))
-            exact.append(False)
-        else:
-            # Derived value suspicious (0 or negative, possible for extended
-            # objects or overlapping expanded quadrants): confirm with a
-            # real query before anyone prunes on it.
-            real = device.count_window(server_name, probes[3])
-            issued += 1
-            counts.append(float(real))
-            exact.append(True)
-    return QuadrantCounts(
-        window=window,
-        quadrants=quadrants,  # type: ignore[arg-type]
-        counts=tuple(counts),  # type: ignore[arg-type]
-        exact=tuple(exact),  # type: ignore[arg-type]
-        queries_issued=issued,
+    gen = quadrant_count_steps(
+        server_name, window, parent_count, derive_fourth=derive_fourth, margin=margin
     )
+    try:
+        requests = gen.send(None)
+        while True:
+            requests = gen.send(execute_count_requests(device, requests))
+    except StopIteration as stop:
+        return stop.value
 
 
-def estimate_quadrant_counts(window: Rect, parent_count: int) -> QuadrantCounts:
+def estimate_quadrant_counts(window: Rect, parent_count: float) -> QuadrantCounts:
     """Quadrant counts under the uniformity assumption (no queries issued).
 
     Used when a dataset has already been characterised as uniform at an
     earlier recursion step: the paper's UpJoin "estimates the number of
     objects in the quadrants, based on |Dw| and the uniformity assumption".
+
+    ``parent_count`` may be fractional (itself an estimate from an earlier
+    level); the four quarters always sum to *exactly* the parent total
+    (division by four is exact in binary floating point), so repeated
+    estimation down a recursion path conserves mass instead of drifting by
+    up to +-1 object per level through premature integer rounding.
     """
     quadrants = tuple(window.quadrants())
     quarter = parent_count / 4.0

@@ -19,6 +19,7 @@ from repro.geometry.rect import Rect
 
 __all__ = [
     "is_uniform",
+    "confirms_uniformity",
     "worth_retrieving_statistics",
     "density_bitmap",
     "bitmaps_equal",

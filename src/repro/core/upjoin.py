@@ -22,21 +22,63 @@ Uniformity knowledge is inherited down the recursion: once a dataset is
 declared uniform its sub-window counts are estimated (not queried), and
 exact counts are fetched again only when a physical operator is about to
 run.
+
+Execution modes
+---------------
+
+The decision logic above is written once, as a per-window *request
+generator* (:meth:`UpJoin._window_steps`): it yields batches of
+:class:`~repro.core.stats.CountRequest` and finishes with a terminal
+outcome (prune / physical-operator leaf / repartition into quadrants).
+Two drivers execute it:
+
+* ``execution="recursive"`` -- the reference depth-first driver.  Every
+  request is satisfied immediately with the same scalar/batched calls the
+  seed implementation issued, and leaves run as they are reached.
+* ``execution="frontier"`` (default) -- a level-order driver.  All windows
+  of one recursion depth advance in lock-step rounds; the pending COUNT
+  requests of a round are concatenated into one batched exchange per
+  server, answered by the server's flattened aggregate-tree snapshot in a
+  single vectorised descent.  Physical-operator leaves of the level are
+  executed through the device's batch operators
+  (:meth:`~repro.device.pda.MobileDevice.hbsj_batch` /
+  :meth:`~repro.device.pda.MobileDevice.nlsj_batch`), which concatenate
+  window retrievals, probes and in-memory join kernels across leaves.
+
+The paper's recursion only constrains *which* windows are queried and what
+bytes cross the wire -- not the order exchanges are flushed -- so sibling
+windows can legally share one exchange.  Both drivers issue the same
+queries with the same payloads and record the same per-depth trace, so
+pairs, byte totals and decision logs are bit-identical (the randomized
+property suite in ``tests/test_upjoin_frontier.py`` pins this).  The
+location of the uniformity-confirmation probe is derived deterministically
+from ``(seed, depth, side, window)`` rather than from a shared sequential
+stream, which makes the draw independent of traversal order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.base import MAX_DEPTH, AlgorithmParameters, MobileJoinAlgorithm
 from repro.core.join_types import JoinSpec
-from repro.core.stats import QuadrantCounts, estimate_quadrant_counts, fetch_quadrant_counts
+from repro.core.stats import (
+    CountRequest,
+    QuadrantCounts,
+    estimate_quadrant_counts,
+    execute_count_requests,
+    quadrant_count_steps,
+)
 from repro.core.uniformity import (
     confirms_uniformity,
     is_uniform,
     worth_retrieving_statistics,
 )
+from repro.device.hbsj import HBSJRequest
+from repro.device.nlsj import NLSJRequest
 from repro.device.pda import MobileDevice
 from repro.geometry.rect import Rect
 
@@ -53,8 +95,52 @@ class _SideState:
     quadrants: Optional[QuadrantCounts]
 
 
+@dataclass(frozen=True)
+class _Task:
+    """One window pending a planning decision at some recursion depth."""
+
+    window: Rect
+    count_r: float
+    count_s: float
+    counts_exact: bool
+    known_uniform_r: bool
+    known_uniform_s: bool
+    depth: int
+
+
+@dataclass(frozen=True)
+class _Leaf:
+    """A window the planner finished with a physical operator."""
+
+    op: str  # "hbsj" | "nlsj"
+    window: Rect
+    count_r: int
+    count_s: int
+    counts_exact: bool = True
+    outer: str = "S"
+
+
+@dataclass
+class _Run:
+    """Execution state of one window's step generator (frontier driver)."""
+
+    task: _Task
+    gen: Generator
+    events: List = field(default_factory=list)
+    pending: Optional[List[CountRequest]] = None
+    outcome: Optional[object] = None
+
+
 class UpJoin(MobileJoinAlgorithm):
-    """The distribution-aware Uniform Partition Join."""
+    """The distribution-aware Uniform Partition Join.
+
+    Parameters
+    ----------
+    execution:
+        ``"frontier"`` (default) for the level-order batched executor,
+        ``"recursive"`` for the depth-first reference execution.  Both
+        produce bit-identical pairs, bytes and per-depth traces.
+    """
 
     name = "upjoin"
 
@@ -63,43 +149,62 @@ class UpJoin(MobileJoinAlgorithm):
         device: MobileDevice,
         spec: JoinSpec,
         params: Optional[AlgorithmParameters] = None,
+        execution: str = "frontier",
     ) -> None:
         super().__init__(device, spec, params)
+        execution = execution.lower()
+        if execution not in ("frontier", "recursive"):
+            raise ValueError(
+                f"unknown execution mode {execution!r}; "
+                "expected 'frontier' or 'recursive'"
+            )
+        self.execution = execution
 
     # ------------------------------------------------------------------ #
 
     def _execute(self, window: Rect, count_r: int, count_s: int, depth: int) -> None:
-        self._recurse(
-            window,
-            float(count_r),
-            float(count_s),
+        root = _Task(
+            window=window,
+            count_r=float(count_r),
+            count_s=float(count_s),
             counts_exact=True,
             known_uniform_r=False,
             known_uniform_s=False,
             depth=depth,
         )
+        if self.execution == "recursive":
+            self._execute_recursive(root)
+        else:
+            self._execute_frontier([root])
 
-    def _recurse(
-        self,
-        window: Rect,
-        count_r: float,
-        count_s: float,
-        counts_exact: bool,
-        known_uniform_r: bool,
-        known_uniform_s: bool,
-        depth: int,
-    ) -> None:
+    # ------------------------------------------------------------------ #
+    # per-window decision logic (lines 1-14 of Figure 3), shared verbatim
+    # by both drivers.  Yields CountRequest batches; returns the outcome.
+    # ------------------------------------------------------------------ #
+
+    def _window_steps(self, task: _Task, rec):
+        window, depth = task.window, task.depth
+        count_r, count_s = task.count_r, task.count_s
+        counts_exact = task.counts_exact
+
         # Line 1: prune windows where at least one dataset is empty.  An
         # estimated (inexact) zero is confirmed before pruning, so extended
         # objects can never be lost to the count-derivation shortcut.
         if count_r <= 0 or count_s <= 0:
             if counts_exact:
-                self.prune(window, depth, int(count_r), int(count_s))
-                return
-            exact_r, exact_s = self.count_both(window)
+                self.device.counts.windows_pruned += 1
+                rec("prune", "empty side", int(count_r), int(count_s))
+                return None
+            exact_r = (
+                yield [CountRequest("R", (self.query_window("R", window),), scalar=True)]
+            )[0][0]
+            exact_s = (
+                yield [CountRequest("S", (self.query_window("S", window),), scalar=True)]
+            )[0][0]
             if exact_r == 0 or exact_s == 0:
-                self.prune(window, depth, exact_r, exact_s)
-                return
+                self.device.counts.windows_pruned += 1
+                rec("prune", "empty side", exact_r, exact_s)
+                return None
             count_r, count_s, counts_exact = float(exact_r), float(exact_s), True
 
         # Economics gate (Eq. 10 lifted to the window level): when the whole
@@ -115,18 +220,17 @@ class UpJoin(MobileJoinAlgorithm):
                 window, gate_r, gate_s, buffer_size=None, enforce_buffer=False
             )
             outer_gate, nlsj_gate = self.cheaper_nlsj_side(window, gate_r, gate_s)
-            self.record(depth, window, "finish-small", f"c1={c1_gate:.0f}", gate_r, gate_s)
-            self._apply_cheapest(
-                window, depth, gate_r, gate_s, c1_gate, outer_gate, nlsj_gate, counts_exact
+            rec("finish-small", f"c1={c1_gate:.0f}", gate_r, gate_s)
+            return self._cheapest_leaf(
+                window, gate_r, gate_s, c1_gate, outer_gate, nlsj_gate, counts_exact, rec
             )
-            return
 
         # Lines 2-7: characterise the distribution of each dataset.
-        state_r = self._characterise(
-            window, "R", count_r, known_uniform_r, depth
+        state_r = yield from self._characterise_steps(
+            window, "R", count_r, task.known_uniform_r, depth, rec
         )
-        state_s = self._characterise(
-            window, "S", count_s, known_uniform_s, depth
+        state_s = yield from self._characterise_steps(
+            window, "S", count_s, task.known_uniform_s, depth, rec
         )
 
         # Line 8: strategy costs.  c4 is never estimated -- the decision to
@@ -140,9 +244,7 @@ class UpJoin(MobileJoinAlgorithm):
             window, int_r, int_s, buffer_size=None, enforce_buffer=False
         )
         nlsj_outer, nlsj_cost = self.cheaper_nlsj_side(window, int_r, int_s)
-        self.record(
-            depth,
-            window,
+        rec(
             "plan",
             f"c1={c1:.0f} nlsj[{nlsj_outer}]={nlsj_cost:.0f} "
             f"uniformR={state_r.uniform} uniformS={state_s.uniform}",
@@ -156,45 +258,50 @@ class UpJoin(MobileJoinAlgorithm):
             # Further splitting cannot expose prunable space (depth limit,
             # epsilon-scale cell, or the remaining data is cheaper than the
             # statistics another level would need): finish the window now.
-            self._apply_cheapest(window, depth, int_r, int_s, c1, nlsj_outer, nlsj_cost,
-                                 counts_exact and state_r.count_exact and state_s.count_exact)
-            return
+            return self._cheapest_leaf(
+                window, int_r, int_s, c1, nlsj_outer, nlsj_cost,
+                counts_exact and state_r.count_exact and state_s.count_exact, rec,
+            )
 
         # Lines 9-11: HBSJ branch.
         if c1 <= nlsj_cost:
             if state_r.uniform and state_s.uniform and self.fits_in_buffer(int_r, int_s):
-                self.apply_hbsj(
-                    window,
-                    depth,
-                    int_r,
-                    int_s,
-                    counts_exact=counts_exact and state_r.count_exact and state_s.count_exact,
+                rec("HBSJ", "", int_r, int_s)
+                return _Leaf(
+                    "hbsj", window, int_r, int_s,
+                    counts_exact=counts_exact
+                    and state_r.count_exact
+                    and state_s.count_exact,
                 )
-                return
-            self._repartition(window, state_r, state_s, depth)
-            return
+            return self._split_outcome(window, state_r, state_s, depth, rec)
 
         # Lines 12-14: NLSJ branch.  The inner relation is the one being
         # probed (the opposite of the outer download side); per the paper it
         # is the *larger* dataset that must be uniform for NLSJ to be safe.
         inner_uniform = state_r.uniform if nlsj_outer == "S" else state_s.uniform
         if inner_uniform:
-            self.apply_nlsj(window, depth, outer=nlsj_outer, count_r=int_r, count_s=int_s)
-            return
-        self._repartition(window, state_r, state_s, depth)
+            rec(
+                "NLSJ",
+                f"outer={nlsj_outer}, bucket={self.params.bucket_queries}",
+                int_r,
+                int_s,
+            )
+            return _Leaf("nlsj", window, int_r, int_s, outer=nlsj_outer)
+        return self._split_outcome(window, state_r, state_s, depth, rec)
 
     # ------------------------------------------------------------------ #
     # distribution characterisation (lines 2-7 of Figure 3)
     # ------------------------------------------------------------------ #
 
-    def _characterise(
+    def _characterise_steps(
         self,
         window: Rect,
         server_name: str,
         count: float,
         known_uniform: bool,
         depth: int,
-    ) -> _SideState:
+        rec,
+    ):
         int_count = int(round(count))
         if known_uniform:
             # Already characterised at an earlier step: estimate, don't query.
@@ -202,11 +309,11 @@ class UpJoin(MobileJoinAlgorithm):
                 count=count,
                 count_exact=False,
                 uniform=True,
-                quadrants=estimate_quadrant_counts(window, int_count),
+                quadrants=estimate_quadrant_counts(window, count),
             )
         if not worth_retrieving_statistics(int_count, self.cost_model):
             # Line 7: too small to justify statistics; assume uniform.
-            self.record(depth, window, "assume-uniform", f"{server_name} small ({int_count})")
+            rec("assume-uniform", f"{server_name} small ({int_count})")
             return _SideState(
                 count=count,
                 count_exact=True,
@@ -216,8 +323,7 @@ class UpJoin(MobileJoinAlgorithm):
         # Lines 4-5: impose the grid and retrieve quadrant counts (R is
         # counted on the raw quadrants, S on their epsilon-expanded query
         # windows, consistently with the physical operators).
-        quadrants = fetch_quadrant_counts(
-            self.device,
+        quadrants = yield from quadrant_count_steps(
             server_name,
             window,
             int_count,
@@ -227,18 +333,24 @@ class UpJoin(MobileJoinAlgorithm):
         uniform = is_uniform(int_count, quadrants.counts, self.params.alpha)
         if uniform:
             # Line 6: confirm with one randomly located quadrant-sized COUNT.
-            u, v = self._rng.uniform(0.0, 1.0, size=2)
-            probe = window.sample_subwindow(0.5, 0.5, float(u), float(v))
-            probe_count = self.count_window(server_name, probe)
+            u, v = self._probe_uv(window, depth, server_name)
+            probe = window.sample_subwindow(0.5, 0.5, u, v)
+            probe_count = (
+                yield [
+                    CountRequest(
+                        server_name,
+                        (self.query_window(server_name, probe),),
+                        scalar=True,
+                    )
+                ]
+            )[0][0]
             uniform = confirms_uniformity(int_count, probe_count, self.params.alpha)
-            self.record(
-                depth,
-                window,
+            rec(
                 "confirm-uniform",
                 f"{server_name}: probe={probe_count} -> {'uniform' if uniform else 'skewed'}",
             )
         else:
-            self.record(depth, window, "skewed", server_name)
+            rec("skewed", server_name)
         return _SideState(
             count=count,
             count_exact=True,
@@ -246,48 +358,225 @@ class UpJoin(MobileJoinAlgorithm):
             quadrants=quadrants,
         )
 
+    def _probe_uv(self, window: Rect, depth: int, server_name: str) -> Tuple[float, float]:
+        """Placement of the confirmation window, derived per (window, side).
+
+        The draw must not depend on traversal order -- the depth-first and
+        frontier executors visit windows in different global orders -- so
+        instead of consuming a shared sequential stream, each probe gets its
+        own deterministic stream keyed on the algorithm seed, the recursion
+        depth, the side and the window coordinates.
+        """
+        # Little-endian canonical byte view: the derived stream (and with it
+        # the frozen golden traces/figures) must not depend on host
+        # endianness.
+        coords = np.asarray(window.as_tuple(), dtype="<f8")
+        entropy = [
+            int(self.params.seed) & 0xFFFFFFFF,
+            depth & 0xFFFFFFFF,
+            0 if server_name.upper() == "R" else 1,
+        ]
+        entropy.extend(int(w) for w in np.frombuffer(coords.tobytes(), dtype="<u4"))
+        rng = np.random.default_rng(np.random.SeedSequence(entropy))
+        u, v = rng.uniform(0.0, 1.0, size=2)
+        return float(u), float(v)
+
+    # ------------------------------------------------------------------ #
+    # terminal outcomes
     # ------------------------------------------------------------------ #
 
-    def _repartition(
-        self, window: Rect, state_r: _SideState, state_s: _SideState, depth: int
-    ) -> None:
-        """Lines 11/14: recurse into the four quadrants.
-
-        Quadrant counts retrieved (or estimated) during characterisation are
-        reused; a dataset that was never decomposed (small or previously
-        uniform) contributes estimated quarter counts.
-        """
-        self.device.note_repartition()
-        self.record(depth, window, "repartition", "2x2 grid")
-        quad_r = state_r.quadrants or estimate_quadrant_counts(
-            window, int(round(state_r.count))
-        )
-        quad_s = state_s.quadrants or estimate_quadrant_counts(
-            window, int(round(state_s.count))
-        )
-        for i, cell in enumerate(self.quadrants_of(window)):
-            self._recurse(
-                cell,
-                quad_r.count(i),
-                quad_s.count(i),
-                counts_exact=quad_r.is_exact(i) and quad_s.is_exact(i),
-                known_uniform_r=state_r.uniform,
-                known_uniform_s=state_s.uniform,
-                depth=depth + 1,
-            )
-
-    def _apply_cheapest(
+    def _cheapest_leaf(
         self,
         window: Rect,
-        depth: int,
         count_r: int,
         count_s: int,
         c1: float,
         nlsj_outer: str,
         nlsj_cost: float,
         counts_exact: bool,
-    ) -> None:
+        rec,
+    ) -> _Leaf:
         if c1 <= nlsj_cost and self.fits_in_buffer(count_r, count_s):
-            self.apply_hbsj(window, depth, count_r, count_s, counts_exact=counts_exact)
+            rec("HBSJ", "", count_r, count_s)
+            return _Leaf("hbsj", window, count_r, count_s, counts_exact=counts_exact)
+        rec(
+            "NLSJ",
+            f"outer={nlsj_outer}, bucket={self.params.bucket_queries}",
+            count_r,
+            count_s,
+        )
+        return _Leaf("nlsj", window, count_r, count_s, outer=nlsj_outer)
+
+    def _split_outcome(
+        self, window: Rect, state_r: _SideState, state_s: _SideState, depth: int, rec
+    ) -> List[_Task]:
+        """Lines 11/14: decompose into the four quadrants.
+
+        Quadrant counts retrieved (or estimated) during characterisation are
+        reused; a dataset that was never decomposed (small or previously
+        uniform) contributes estimated quarter counts, which conserve the
+        parent total exactly.
+        """
+        self.device.note_repartition()
+        rec("repartition", "2x2 grid")
+        quad_r = state_r.quadrants or estimate_quadrant_counts(window, state_r.count)
+        quad_s = state_s.quadrants or estimate_quadrant_counts(window, state_s.count)
+        return [
+            _Task(
+                window=cell,
+                count_r=quad_r.count(i),
+                count_s=quad_s.count(i),
+                counts_exact=quad_r.is_exact(i) and quad_s.is_exact(i),
+                known_uniform_r=state_r.uniform,
+                known_uniform_s=state_s.uniform,
+                depth=depth + 1,
+            )
+            for i, cell in enumerate(self.quadrants_of(window))
+        ]
+
+    # ------------------------------------------------------------------ #
+    # depth-first reference driver
+    # ------------------------------------------------------------------ #
+
+    def _execute_recursive(self, task: _Task) -> None:
+        def rec(action, detail="", cr=None, cs=None):
+            self.record(task.depth, task.window, action, detail, cr, cs)
+
+        gen = self._window_steps(task, rec)
+        outcome = None
+        try:
+            requests = gen.send(None)
+            while True:
+                requests = gen.send(execute_count_requests(self.device, requests))
+        except StopIteration as stop:
+            outcome = stop.value
+        if outcome is None:
+            return
+        if isinstance(outcome, _Leaf):
+            self._run_leaf(outcome)
+            return
+        for child in outcome:
+            self._execute_recursive(child)
+
+    def _run_leaf(self, leaf: _Leaf) -> None:
+        """Execute one physical-operator leaf immediately (reference path).
+
+        When the counts are only estimates (``counts_exact=False``) they are
+        not forwarded to the operator, which will issue its own COUNT
+        queries -- the paper's "issue additional aggregate queries only when
+        accuracy is crucial, i.e. when applying the physical operators".
+        """
+        if leaf.op == "hbsj":
+            result = self.device.hbsj(
+                leaf.window,
+                self.predicate,
+                count_r=leaf.count_r if leaf.counts_exact else None,
+                count_s=leaf.count_s if leaf.counts_exact else None,
+            )
         else:
-            self.apply_nlsj(window, depth, outer=nlsj_outer, count_r=count_r, count_s=count_s)
+            result = self.device.nlsj(
+                leaf.window,
+                self.predicate,
+                outer=leaf.outer,
+                bucket=self.params.bucket_queries,
+            )
+        self._pairs.update(result.pairs)
+
+    # ------------------------------------------------------------------ #
+    # level-order frontier driver
+    # ------------------------------------------------------------------ #
+
+    def _execute_frontier(self, level: List[_Task]) -> None:
+        while level:
+            runs = [self._start_run(task) for task in level]
+            self._drive_level(runs)
+            leaves: List[_Leaf] = []
+            next_level: List[_Task] = []
+            for run in runs:
+                if isinstance(run.outcome, _Leaf):
+                    leaves.append(run.outcome)
+                elif run.outcome is not None:
+                    next_level.extend(run.outcome)
+            self._run_leaves_batched(leaves)
+            if self.params.trace:
+                for run in runs:
+                    self._trace.extend(run.events)
+            level = next_level
+
+    def _start_run(self, task: _Task) -> _Run:
+        run = _Run(task=task, gen=None)  # type: ignore[arg-type]
+
+        def rec(action, detail="", cr=None, cs=None):
+            self.record(
+                task.depth, task.window, action, detail, cr, cs, sink=run.events
+            )
+
+        run.gen = self._window_steps(task, rec)
+        self._advance_run(run, None)
+        return run
+
+    @staticmethod
+    def _advance_run(run: _Run, response) -> None:
+        try:
+            run.pending = run.gen.send(response)
+        except StopIteration as stop:
+            run.pending = None
+            run.outcome = stop.value
+
+    def _drive_level(self, runs: List[_Run]) -> None:
+        """Advance every window of the level in lock-step rounds.
+
+        Each round gathers the pending COUNT requests of all still-active
+        windows and ships them as one batched exchange per server -- the
+        same queries, in task order, that the depth-first driver issues one
+        window at a time.
+        """
+        pending = [run for run in runs if run.pending is not None]
+        while pending:
+            batches: dict = {}
+            for run in pending:
+                for req in run.pending:
+                    batches.setdefault(req.server, []).extend(req.rects)
+            answers = {
+                server: self.device.count_windows(server, rects) if rects else []
+                for server, rects in batches.items()
+            }
+            cursors = {server: 0 for server in batches}
+            still_pending: List[_Run] = []
+            for run in pending:
+                response: List[List[int]] = []
+                for req in run.pending:
+                    start = cursors[req.server]
+                    cursors[req.server] = start + len(req.rects)
+                    response.append(answers[req.server][start : start + len(req.rects)])
+                self._advance_run(run, response)
+                if run.pending is not None:
+                    still_pending.append(run)
+            pending = still_pending
+
+    def _run_leaves_batched(self, leaves: Sequence[_Leaf]) -> None:
+        """Execute the level's physical-operator leaves through the batch
+        operators: one batched download / probe / kernel pipeline per
+        operator kind instead of one device call per window."""
+        hbsj_leaves = [leaf for leaf in leaves if leaf.op == "hbsj"]
+        nlsj_leaves = [leaf for leaf in leaves if leaf.op == "nlsj"]
+        if hbsj_leaves:
+            requests = [
+                HBSJRequest(
+                    window=leaf.window,
+                    count_r=leaf.count_r if leaf.counts_exact else None,
+                    count_s=leaf.count_s if leaf.counts_exact else None,
+                )
+                for leaf in hbsj_leaves
+            ]
+            for result in self.device.hbsj_batch(requests, self.predicate):
+                self._pairs.update(result.pairs)
+        if nlsj_leaves:
+            requests = [
+                NLSJRequest(window=leaf.window, outer=leaf.outer)
+                for leaf in nlsj_leaves
+            ]
+            for result in self.device.nlsj_batch(
+                requests, self.predicate, bucket=self.params.bucket_queries
+            ):
+                self._pairs.update(result.pairs)

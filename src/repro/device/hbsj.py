@@ -18,23 +18,42 @@ result set deduplicates pairs rediscovered by neighbouring cells.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.device.buffer import DeviceBuffer
 from repro.geometry.predicates import JoinPredicate
 from repro.geometry.rect import Rect
-from repro.index.hash_join import grid_hash_join
+from repro.index.hash_join import grid_hash_join, grid_hash_join_batch
 from repro.server.remote import ServerPair
 
-__all__ = ["HBSJResult", "hash_based_spatial_join"]
+__all__ = [
+    "HBSJRequest",
+    "HBSJResult",
+    "hash_based_spatial_join",
+    "hash_based_spatial_join_batch",
+]
 
 #: Safety valve against pathological inputs (e.g. more coincident points
 #: than the buffer holds); beyond this depth, or when a window becomes too
 #: small for further partitioning to separate data, the operator falls back
 #: to buffer-friendly nested-loop probing instead of splitting forever.
 MAX_RECURSION_DEPTH = 16
+
+
+@dataclass(frozen=True)
+class HBSJRequest:
+    """One HBSJ invocation requested from the batch executor.
+
+    ``count_r`` / ``count_s`` carry already-known exact counts (R over the
+    window, S over the margin-expanded window); ``None`` means the executor
+    issues its own feasibility COUNTs, exactly like the scalar operator.
+    """
+
+    window: Rect
+    count_r: Optional[int] = None
+    count_s: Optional[int] = None
 
 
 @dataclass
@@ -136,6 +155,145 @@ def hash_based_spatial_join(
         )
         result.merge(sub)
     return result
+
+
+def hash_based_spatial_join_batch(
+    servers: ServerPair,
+    requests: Sequence[HBSJRequest],
+    predicate: JoinPredicate,
+    buffer: DeviceBuffer,
+) -> List[HBSJResult]:
+    """Execute many HBSJ invocations with level-order batched exchanges.
+
+    Per-request results (pairs and all counters) are identical to a loop
+    of :func:`hash_based_spatial_join` calls, and so are the wire bytes:
+    the operator's internal quadrant recursion is processed as a frontier,
+    so the feasibility COUNTs, the quadrant-split COUNTs and the window
+    downloads of every active window at a recursion step travel in one
+    batched exchange per server, and the in-memory joins of all
+    buffer-feasible windows collapse into a single segmented grid-hash
+    kernel call.
+    """
+    from repro.device.nlsj import (  # local: avoid cycle
+        NLSJRequest,
+        nested_loop_spatial_join_batch,
+    )
+
+    margin = predicate.window_margin
+    results = [HBSJResult() for _ in requests]
+    # Worklist items: (request idx, window, expanded S window, cr, cs, depth).
+    items: List[Tuple[int, Rect, Rect, Optional[int], Optional[int], int]] = [
+        (
+            i,
+            req.window,
+            req.window.expanded(margin) if margin > 0 else req.window,
+            req.count_r,
+            req.count_s,
+            0,
+        )
+        for i, req in enumerate(requests)
+    ]
+    while items:
+        # Resolve missing feasibility counts, one COUNT batch per server.
+        need_r = [k for k, it in enumerate(items) if it[3] is None]
+        if need_r:
+            got = servers.r.count_batch([items[k][1] for k in need_r])
+            for k, value in zip(need_r, got):
+                idx, w, ws, _, cs, depth = items[k]
+                items[k] = (idx, w, ws, int(value), cs, depth)
+                results[idx].count_queries += 1
+        need_s = [k for k, it in enumerate(items) if it[4] is None]
+        if need_s:
+            got = servers.s.count_batch([items[k][2] for k in need_s])
+            for k, value in zip(need_s, got):
+                idx, w, ws, cr, _, depth = items[k]
+                items[k] = (idx, w, ws, cr, int(value), depth)
+                results[idx].count_queries += 1
+
+        joins: List[Tuple[int, Rect, Rect]] = []
+        splits: List[Tuple[int, Rect, int]] = []
+        fallbacks: List[Tuple[int, Rect]] = []
+        for idx, w, ws, cr, cs, depth in items:
+            if cr == 0 or cs == 0:
+                results[idx].windows_pruned += 1
+            elif cr + cs <= buffer.capacity:
+                joins.append((idx, w, ws))
+            elif depth >= MAX_RECURSION_DEPTH or _too_small_to_split(w, margin):
+                fallbacks.append((idx, w))
+            else:
+                splits.append((idx, w, depth))
+
+        # Splits: batch the per-quadrant feasibility COUNTs of every
+        # splitting window into one exchange per server.
+        next_items: List[Tuple[int, Rect, Rect, Optional[int], Optional[int], int]] = []
+        if splits:
+            all_quads: List[Rect] = []
+            for _, w, _ in splits:
+                all_quads.extend(w.quadrants())
+            quad_counts_r = servers.r.count_batch(all_quads)
+            quad_counts_s = servers.s.count_batch(
+                [q.expanded(margin) if margin > 0 else q for q in all_quads]
+            )
+            pos = 0
+            for idx, w, depth in splits:
+                results[idx].recursive_splits += 1
+                results[idx].count_queries += 8
+                for quadrant in w.quadrants():
+                    next_items.append(
+                        (
+                            idx,
+                            quadrant,
+                            quadrant.expanded(margin) if margin > 0 else quadrant,
+                            int(quad_counts_r[pos]),
+                            int(quad_counts_s[pos]),
+                            depth + 1,
+                        )
+                    )
+                    pos += 1
+
+        # Feasible windows: one WINDOW batch per server, one segmented
+        # grid-hash kernel call over all of them.
+        if joins:
+            payloads_r = servers.r.window_batch([w for _, w, _ in joins])
+            payloads_s = servers.s.window_batch([ws for _, _, ws in joins])
+            pair_lists = grid_hash_join_batch(
+                [
+                    (rm, ro, sm, so)
+                    for (rm, ro), (sm, so) in zip(payloads_r, payloads_s)
+                ],
+                predicate,
+            )
+            for (idx, _, _), (rm, ro), (sm, so), pairs in zip(
+                joins, payloads_r, payloads_s, pair_lists
+            ):
+                result = results[idx]
+                result.objects_downloaded_r += int(ro.shape[0])
+                result.objects_downloaded_s += int(so.shape[0])
+                token = buffer.allocate(int(ro.shape[0]) + int(so.shape[0]))
+                try:
+                    result.pairs.extend(pairs)
+                    result.windows_joined += 1
+                finally:
+                    buffer.release(token)
+
+        # Un-splittable over-budget windows: finish with batched NLSJ.
+        if fallbacks:
+            sub_results = nested_loop_spatial_join_batch(
+                servers,
+                [NLSJRequest(window=w, outer="R") for _, w in fallbacks],
+                predicate,
+                buffer,
+                bucket=False,
+            )
+            for (idx, _), nlsj in zip(fallbacks, sub_results):
+                result = results[idx]
+                result.pairs.extend(nlsj.pairs)
+                result.nlsj_fallbacks += 1
+                result.objects_downloaded_r += nlsj.outer_objects
+                result.objects_downloaded_s += nlsj.inner_objects_received
+
+        items = next_items
+    return results
 
 
 def _too_small_to_split(window: Rect, margin: float) -> bool:

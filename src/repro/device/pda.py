@@ -14,8 +14,18 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.device.buffer import DeviceBuffer
-from repro.device.hbsj import HBSJResult, hash_based_spatial_join
-from repro.device.nlsj import NLSJResult, nested_loop_spatial_join
+from repro.device.hbsj import (
+    HBSJRequest,
+    HBSJResult,
+    hash_based_spatial_join,
+    hash_based_spatial_join_batch,
+)
+from repro.device.nlsj import (
+    NLSJRequest,
+    NLSJResult,
+    nested_loop_spatial_join,
+    nested_loop_spatial_join_batch,
+)
 from repro.geometry.predicates import JoinPredicate
 from repro.geometry.rect import Rect
 from repro.network.config import NetworkConfig
@@ -136,6 +146,36 @@ class MobileDevice:
         self.counts.nlsj_invocations += 1
         return nested_loop_spatial_join(
             self.servers, window, predicate, self.buffer, outer=outer, bucket=bucket
+        )
+
+    def hbsj_batch(
+        self, requests: Sequence[HBSJRequest], predicate: JoinPredicate
+    ) -> List[HBSJResult]:
+        """Run many HBSJ invocations through the batched executor.
+
+        Bookkeeping is identical to a loop of :meth:`hbsj` calls: one
+        invocation per request, and the per-request count/prune counters
+        are merged the same way.
+        """
+        self.counts.hbsj_invocations += len(requests)
+        results = hash_based_spatial_join_batch(
+            self.servers, requests, predicate, self.buffer
+        )
+        for result in results:
+            self.counts.count_queries += result.count_queries
+            self.counts.windows_pruned += result.windows_pruned
+        return results
+
+    def nlsj_batch(
+        self,
+        requests: Sequence[NLSJRequest],
+        predicate: JoinPredicate,
+        bucket: bool = False,
+    ) -> List[NLSJResult]:
+        """Run many NLSJ invocations through the batched executor."""
+        self.counts.nlsj_invocations += len(requests)
+        return nested_loop_spatial_join_batch(
+            self.servers, requests, predicate, self.buffer, bucket=bucket
         )
 
     # ------------------------------------------------------------------ #

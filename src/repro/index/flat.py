@@ -137,9 +137,21 @@ class FlatRTree:
 
     def window_batch(self, wins: np.ndarray) -> List[np.ndarray]:
         """Qualifying oids for every window of a ``(W, 4)`` array."""
+        bounds, oids = self.window_batch_flat(wins)
+        return [oids[bounds[i] : bounds[i + 1]] for i in range(wins.shape[0])]
+
+    def window_batch_flat(self, wins: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Qualifying oids for a window batch, in CSR (offset-array) form.
+
+        Returns ``(bounds, oids)`` with ``len(bounds) == W + 1``: the oids
+        of window ``i`` are ``oids[bounds[i]:bounds[i+1]]``.  Batch
+        consumers that concatenate per-window results anyway (the frontier
+        operator executors, the segmented join kernels) read this form
+        directly and skip the per-window list materialisation.
+        """
         W = wins.shape[0]
         if self.size == 0 or W == 0:
-            return [np.empty(0, dtype=np.int64) for _ in range(W)]
+            return np.zeros(W + 1, dtype=np.intp), np.empty(0, dtype=np.int64)
         q_chunks: List[np.ndarray] = []
         e_chunks: List[np.ndarray] = []
         for qids, contained_node, part_nodes, part_qids in self._frontier(wins):
@@ -156,7 +168,7 @@ class FlatRTree:
                 hit = self._entries_in_windows(ent, wins, part_qids[row])
                 q_chunks.append(part_qids[row[hit]])
                 e_chunks.append(ent[hit])
-        return self._group_by_query(q_chunks, e_chunks, W)
+        return self._flatten_by_query(q_chunks, e_chunks, W)
 
     def range_batch(self, pts: np.ndarray, radii: np.ndarray) -> List[np.ndarray]:
         """Qualifying oids for every probe of ``(P, 2)`` centres / radii."""
@@ -269,16 +281,23 @@ class FlatRTree:
         dy = np.maximum(np.maximum(nb[:, 1] - pts[qids, 1], 0.0), pts[qids, 1] - nb[:, 3])
         return np.hypot(dx, dy) <= radii[qids]
 
-    def _group_by_query(
+    def _flatten_by_query(
         self, q_chunks: List[np.ndarray], e_chunks: List[np.ndarray], n_queries: int
-    ) -> List[np.ndarray]:
-        """Turn (query id, entry index) chunk pairs into per-query oid arrays."""
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Turn (query id, entry index) chunk pairs into CSR offsets + oids."""
         if not q_chunks:
-            return [np.empty(0, dtype=np.int64) for _ in range(n_queries)]
+            return np.zeros(n_queries + 1, dtype=np.intp), np.empty(0, dtype=np.int64)
         q = np.concatenate(q_chunks)
         e = np.concatenate(e_chunks)
         order = np.argsort(q, kind="stable")
         q_sorted = q[order]
         oids_sorted = self.entry_oids[e[order]]
         bounds = np.searchsorted(q_sorted, np.arange(n_queries + 1))
+        return bounds, oids_sorted
+
+    def _group_by_query(
+        self, q_chunks: List[np.ndarray], e_chunks: List[np.ndarray], n_queries: int
+    ) -> List[np.ndarray]:
+        """Turn (query id, entry index) chunk pairs into per-query oid arrays."""
+        bounds, oids_sorted = self._flatten_by_query(q_chunks, e_chunks, n_queries)
         return [oids_sorted[bounds[i] : bounds[i + 1]] for i in range(n_queries)]

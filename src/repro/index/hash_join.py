@@ -23,9 +23,12 @@ from repro.geometry import rect_array
 from repro.geometry.grid import RegularGrid
 from repro.geometry.predicates import JoinPredicate, WithinDistancePredicate
 from repro.geometry.rect import Rect
-from repro.index.plane_sweep import plane_sweep_pair_arrays
+from repro.index.plane_sweep import (
+    plane_sweep_pair_arrays,
+    plane_sweep_pair_arrays_segmented,
+)
 
-__all__ = ["grid_hash_join"]
+__all__ = ["grid_hash_join", "grid_hash_join_batch"]
 
 
 def grid_hash_join(
@@ -92,6 +95,149 @@ def grid_hash_join(
     # lexicographically, matching the historical sorted-set output.
     unique = np.unique(np.concatenate(pair_chunks).astype(np.int64), axis=0)
     return [(int(a), int(b)) for a, b in unique.tolist()]
+
+
+def grid_hash_join_batch(
+    items: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]],
+    predicate: JoinPredicate,
+) -> List[List[Tuple[int, int]]]:
+    """Join many independent ``(a_mbrs, a_oids, b_mbrs, b_oids)`` windows.
+
+    Returns one duplicate-free pair list per item, identical to calling
+    :func:`grid_hash_join` per item.  Each item is hashed into its own grid
+    (same bounds / resolution rules as the single-item kernel), but the
+    hashing runs over the concatenation of all items at once -- per-item
+    grid parameters are broadcast per row, cell ids live in one global id
+    space offset per item -- and the per-bucket plane sweeps of *all* items
+    become the segments of a single
+    :func:`plane_sweep_pair_arrays_segmented` call.  This is the frontier
+    executor's in-memory kernel: one sweep invocation per level instead of
+    one per bucket per window, with no per-item Python loop left.
+    """
+    eps = predicate.probe_radius() if isinstance(predicate, WithinDistancePredicate) else 0.0
+    out: List[List[Tuple[int, int]]] = [[] for _ in items]
+    live = [
+        k
+        for k, (a_mbrs, _, b_mbrs, _) in enumerate(items)
+        if a_mbrs.shape[0] and b_mbrs.shape[0]
+    ]
+    if not live:
+        return out
+    n_a = np.array([items[k][0].shape[0] for k in live], dtype=np.intp)
+    n_b = np.array([items[k][2].shape[0] for k in live], dtype=np.intp)
+    a_all = np.vstack([items[k][0] for k in live])
+    b_all = np.vstack([items[k][2] for k in live])
+    a_oid_all = np.concatenate([np.asarray(items[k][1]) for k in live]).astype(np.int64)
+    b_oid_all = np.concatenate([np.asarray(items[k][3]) for k in live]).astype(np.int64)
+    off_a = np.concatenate([[0], np.cumsum(n_a)])
+    off_b = np.concatenate([[0], np.cumsum(n_b)])
+
+    # Per-item hashing bounds (union MBR, expanded like the scalar kernel).
+    xmin = np.minimum(
+        np.minimum.reduceat(a_all[:, 0], off_a[:-1]),
+        np.minimum.reduceat(b_all[:, 0], off_b[:-1]),
+    )
+    ymin = np.minimum(
+        np.minimum.reduceat(a_all[:, 1], off_a[:-1]),
+        np.minimum.reduceat(b_all[:, 1], off_b[:-1]),
+    )
+    xmax = np.maximum(
+        np.maximum.reduceat(a_all[:, 2], off_a[:-1]),
+        np.maximum.reduceat(b_all[:, 2], off_b[:-1]),
+    )
+    ymax = np.maximum(
+        np.maximum.reduceat(a_all[:, 3], off_a[:-1]),
+        np.maximum.reduceat(b_all[:, 3], off_b[:-1]),
+    )
+    grow = np.where(
+        (xmax - xmin == 0) | (ymax - ymin == 0) | (eps > 0), max(eps, 1e-9), 0.0
+    )
+    xmin, ymin, xmax, ymax = xmin - grow, ymin - grow, xmax + grow, ymax + grow
+    k_side = np.maximum(1, np.ceil(np.sqrt((n_a + n_b) / 32.0)).astype(np.intp))
+    cw = (xmax - xmin) / k_side
+    ch = (ymax - ymin) / k_side
+    cell_base = np.concatenate([[0], np.cumsum(k_side * k_side)])
+
+    def hash_rows(mbrs, counts, expand_by):
+        item_of = np.repeat(np.arange(len(live), dtype=np.intp), counts)
+        nx = k_side[item_of]
+        ix0 = np.clip(
+            ((mbrs[:, 0] - expand_by - xmin[item_of]) / cw[item_of]).astype(np.intp),
+            0,
+            nx - 1,
+        )
+        ix1 = np.clip(
+            ((mbrs[:, 2] + expand_by - xmin[item_of]) / cw[item_of]).astype(np.intp),
+            0,
+            nx - 1,
+        )
+        iy0 = np.clip(
+            ((mbrs[:, 1] - expand_by - ymin[item_of]) / ch[item_of]).astype(np.intp),
+            0,
+            nx - 1,
+        )
+        iy1 = np.clip(
+            ((mbrs[:, 3] + expand_by - ymin[item_of]) / ch[item_of]).astype(np.intp),
+            0,
+            nx - 1,
+        )
+        nx_span = ix1 - ix0 + 1
+        rep = nx_span * (iy1 - iy0 + 1)
+        obj, rank = rect_array.expand_index_ranges(np.zeros_like(rep), rep)
+        span = nx_span[obj]
+        cell = (
+            cell_base[item_of[obj]]
+            + (iy0[obj] + rank // span) * nx[obj]
+            + ix0[obj]
+            + rank % span
+        )
+        order = np.argsort(cell, kind="stable")
+        cell_sorted = cell[order]
+        obj_sorted = obj[order]
+        cells, first = np.unique(cell_sorted, return_index=True)
+        return cells, np.append(first, cell.shape[0]), obj_sorted
+
+    cells_a, starts_a, objs_a = hash_rows(a_all, n_a, 0.0)
+    cells_b, starts_b, objs_b = hash_rows(b_all, n_b, eps)
+
+    # Items never share a cell id (disjoint id ranges), so one global
+    # intersection matches the occupied buckets of every item at once.
+    common, pos_a, pos_b = np.intersect1d(
+        cells_a, cells_b, assume_unique=True, return_indices=True
+    )
+    if pos_a.shape[0] == 0:
+        return out
+    # One segment per matched bucket; expand both sides' CSR runs into flat
+    # row arrays tagged with the segment id.
+    seg_a, idx_a = rect_array.expand_index_ranges(starts_a[pos_a], starts_a[pos_a + 1])
+    seg_b, idx_b = rect_array.expand_index_ranges(starts_b[pos_b], starts_b[pos_b + 1])
+    rows_a = objs_a[idx_a]
+    rows_b = objs_b[idx_b]
+    seg_item_of = np.searchsorted(cell_base, common, side="right") - 1
+
+    i_idx, j_idx = plane_sweep_pair_arrays_segmented(
+        a_all[rows_a], seg_a, b_all[rows_b], seg_b, predicate
+    )
+    if i_idx.shape[0] == 0:
+        return out
+    live_arr = np.asarray(live, dtype=np.int64)
+    triples = np.column_stack(
+        [
+            live_arr[seg_item_of[seg_a[i_idx]]],
+            a_oid_all[rows_a[i_idx]],
+            b_oid_all[rows_b[j_idx]],
+        ]
+    )
+    # Global dedup + lexicographic sort; per item this reproduces the
+    # single-item kernel's sorted unique pair list exactly.
+    unique = np.unique(triples, axis=0)
+    owner = unique[:, 0]
+    bounds_per_item = np.searchsorted(owner, np.arange(len(items) + 1))
+    for item_idx in range(len(items)):
+        lo, hi = bounds_per_item[item_idx], bounds_per_item[item_idx + 1]
+        if hi > lo:
+            out[item_idx] = [(int(a), int(b)) for a, b in unique[lo:hi, 1:].tolist()]
+    return out
 
 
 def _hash_side(

@@ -125,6 +125,90 @@ class Channel:
         self.messages_down += 1
         return wire
 
+    def send_uniform_batch(
+        self, message: Message, n: int, direction: str = "up", label: str = ""
+    ) -> int:
+        """Account ``n`` identical messages in one call; returns total wire bytes.
+
+        The per-message ledger is exactly what ``n`` :meth:`send_query` /
+        :meth:`send_response` calls would produce -- message payloads of the
+        batched protocols (query strings, scalar answers) do not depend on
+        the query parameters, so one packetisation suffices for the whole
+        batch and the traffic log receives ``n`` identical records.
+        """
+        if n <= 0:
+            return 0
+        payload = message.payload_bytes(self.config)
+        wire = transferred_bytes(payload, self.config)
+        packets = num_packets(payload, self.config)
+        if direction == "up":
+            self.uplink_bytes += wire * n
+            self.uplink_packets += packets * n
+            self.messages_up += n
+        else:
+            self.downlink_bytes += wire * n
+            self.downlink_packets += packets * n
+            self.messages_down += n
+        if self.log.enabled:
+            record = TrafficRecord(
+                direction=direction,
+                kind=message.kind,
+                payload_bytes=payload,
+                wire_bytes=wire,
+                packets=packets,
+                label=label,
+            )
+            self.log.records.extend([record] * n)
+        return wire * n
+
+    def send_payload_batch(
+        self,
+        kind: MessageKind,
+        payload_sizes: List[int],
+        direction: str = "down",
+        label: str = "",
+    ) -> int:
+        """Account many messages of one kind by payload size; returns wire total.
+
+        Used for batched object responses, whose payloads vary per query.
+        Packetisation results are memoised per distinct size, so a batch of
+        mostly-small (or empty) responses costs a handful of Eq. 1
+        evaluations instead of one per message.  The per-record ledger is
+        identical to a loop of scalar sends.
+        """
+        total_wire = 0
+        total_packets = 0
+        cache: Dict[int, TrafficRecord] = {}
+        records = self.log.records if self.log.enabled else None
+        for payload in payload_sizes:
+            record = cache.get(payload)
+            if record is None:
+                wire = transferred_bytes(payload, self.config)
+                packets = num_packets(payload, self.config)
+                record = TrafficRecord(
+                    direction=direction,
+                    kind=kind,
+                    payload_bytes=payload,
+                    wire_bytes=wire,
+                    packets=packets,
+                    label=label,
+                )
+                cache[payload] = record
+            total_wire += record.wire_bytes
+            total_packets += record.packets
+            if records is not None:
+                records.append(record)
+        n = len(payload_sizes)
+        if direction == "up":
+            self.uplink_bytes += total_wire
+            self.uplink_packets += total_packets
+            self.messages_up += n
+        else:
+            self.downlink_bytes += total_wire
+            self.downlink_packets += total_packets
+            self.messages_down += n
+        return total_wire
+
     def snapshot(self) -> Dict[str, float]:
         """A summary dictionary (used by results and reports)."""
         return {

@@ -31,6 +31,7 @@ from repro.network.messages import (
     AggregateQuery,
     BucketRangeQuery,
     CountQuery,
+    MessageKind,
     ObjectPayload,
     RangeQuery,
     ScalarResponse,
@@ -97,12 +98,23 @@ class RemoteServer(SpatialServerInterface):
 
         Each window is accounted as its own query/response exchange, so the
         wire bytes are bit-identical to a loop of :meth:`window` calls; only
-        the server-side evaluation is batched.
+        the server-side evaluation and the ledger bookkeeping are batched
+        (query payloads are fixed-size strings, so one packetisation covers
+        every request of the batch).
         """
-        payloads = self._server.window_batch(list(windows))
-        for window, (mbrs, oids) in zip(windows, payloads):
-            self.channel.send_query(WindowQuery(window), label="window")
-            self.channel.send_response(ObjectPayload(mbrs, oids), label="window-result")
+        windows = list(windows)
+        payloads = self._server.window_batch(windows)
+        if windows:
+            self.channel.send_uniform_batch(
+                WindowQuery(windows[0]), len(windows), direction="up", label="window"
+            )
+            object_bytes = self.config.object_bytes
+            self.channel.send_payload_batch(
+                MessageKind.OBJECTS,
+                [int(mbrs.shape[0]) * object_bytes for mbrs, _ in payloads],
+                direction="down",
+                label="window-result",
+            )
         return payloads
 
     def count_batch(self, windows: Sequence[Rect]) -> List[int]:
@@ -110,10 +122,18 @@ class RemoteServer(SpatialServerInterface):
 
         Accounting is bit-identical to a loop of :meth:`count` calls.
         """
-        values = self._server.count_batch(list(windows))
-        for window, value in zip(windows, values):
-            self.channel.send_query(CountQuery(window), label="count")
-            self.channel.send_response(ScalarResponse(float(value)), label="count-result")
+        windows = list(windows)
+        values = self._server.count_batch(windows)
+        if windows:
+            self.channel.send_uniform_batch(
+                CountQuery(windows[0]), len(windows), direction="up", label="count"
+            )
+            self.channel.send_uniform_batch(
+                ScalarResponse(0.0),
+                len(windows),
+                direction="down",
+                label="count-result",
+            )
         return values
 
     def range(self, center: Point, epsilon: float) -> Tuple[np.ndarray, np.ndarray]:
@@ -132,9 +152,20 @@ class RemoteServer(SpatialServerInterface):
         to a loop of :meth:`range` calls.
         """
         payloads = self._server.range_batch(centers, radii)
-        for center, radius, (mbrs, oids) in zip(centers, radii, payloads):
-            self.channel.send_query(RangeQuery(center, float(radius)), label="range")
-            self.channel.send_response(ObjectPayload(mbrs, oids), label="range-result")
+        if payloads:
+            self.channel.send_uniform_batch(
+                RangeQuery(centers[0], float(radii[0])),
+                len(payloads),
+                direction="up",
+                label="range",
+            )
+            object_bytes = self.config.object_bytes
+            self.channel.send_payload_batch(
+                MessageKind.OBJECTS,
+                [int(mbrs.shape[0]) * object_bytes for mbrs, _ in payloads],
+                direction="down",
+                label="range-result",
+            )
         return payloads
 
     def bucket_range(

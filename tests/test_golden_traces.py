@@ -1,0 +1,97 @@
+"""Golden recursion-trace regression tests.
+
+The byte totals frozen by ``test_golden_figures.py`` catch *aggregate*
+drift; this suite freezes UpJoin's full decision log -- every
+``record(depth, window, decision, ...)`` event -- for two small
+Figure 6(a) / Figure 7(b) configurations, so individual planner decisions
+(assume-uniform / probe confirmation / repartition / operator choice)
+cannot drift silently even when the byte totals happen to cancel out.
+
+Events are frozen grouped by recursion depth, the granularity at which the
+depth-first reference execution and the frontier executor are defined to
+agree; both execution modes are checked against the same fixture.
+
+Regenerate (only when a planner change is intentional and reviewed) with::
+
+    PYTHONPATH=src python tests/test_golden_traces.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from repro.api import AdHocJoinSession
+from repro.datasets.workloads import WorkloadSpec
+from repro.experiments.harness import build_datasets
+
+FIXTURE_PATH = Path(__file__).parent / "fixtures" / "golden_traces.json"
+
+#: The two frozen configurations: the smallest and the largest cluster
+#: count of the golden fig6a/fig7b sweeps (alpha = 0.25, 800-object
+#: buffer, the default synthetic epsilon).
+CONFIGS = {
+    "figure_6a_clusters4": WorkloadSpec(clusters=4, seed=0, epsilon=0.005, buffer_size=800),
+    "figure_7b_clusters128": WorkloadSpec(
+        clusters=128, seed=0, epsilon=0.005, buffer_size=800
+    ),
+}
+
+
+def _decision_log(execution: str, spec: WorkloadSpec) -> Dict[str, List[List[object]]]:
+    dataset_r, dataset_s = build_datasets(spec)
+    session = AdHocJoinSession(dataset_r, dataset_s, buffer_size=spec.buffer_size)
+    result = session.run(
+        algorithm="upjoin",
+        execution=execution,
+        kind="distance",
+        epsilon=spec.epsilon,
+        bucket_queries=spec.bucket_queries,
+        window=spec.window,
+        seed=0,
+    )
+    grouped: Dict[str, List[List[object]]] = {}
+    for event in result.trace:
+        grouped.setdefault(str(event.depth), []).append(
+            [
+                event.action,
+                event.detail,
+                event.count_r,
+                event.count_s,
+                list(event.window.as_tuple()),
+            ]
+        )
+    return grouped
+
+
+def _measure(execution: str = "frontier") -> Dict[str, Dict[str, List[List[object]]]]:
+    return {name: _decision_log(execution, spec) for name, spec in CONFIGS.items()}
+
+
+def test_golden_traces_reproduce_fixture():
+    assert FIXTURE_PATH.exists(), (
+        "golden trace fixture missing; regenerate with "
+        "`PYTHONPATH=src python tests/test_golden_traces.py --regen`"
+    )
+    golden = json.loads(FIXTURE_PATH.read_text())
+    for execution in ("frontier", "recursive"):
+        measured = _measure(execution)
+        assert sorted(measured) == sorted(golden), execution
+        for figure, depths in golden.items():
+            got = measured[figure]
+            assert sorted(got) == sorted(depths), (execution, figure)
+            for depth, events in depths.items():
+                assert got[depth] == events, (
+                    f"{execution}/{figure}: decision log drifted at depth {depth}"
+                )
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" not in sys.argv:
+        sys.exit("pass --regen to overwrite the golden trace fixture")
+    FIXTURE_PATH.parent.mkdir(exist_ok=True)
+    FIXTURE_PATH.write_text(json.dumps(_measure(), indent=2, sort_keys=True) + "\n")
+    print(f"wrote {FIXTURE_PATH}")

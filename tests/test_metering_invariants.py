@@ -144,3 +144,98 @@ def test_result_channel_stats_are_snapshots():
     session, result = _run("upjoin")
     assert result.channel_stats["R"] == session.device.servers.r.channel.snapshot()
     assert result.channel_stats["S"] == session.device.servers.s.channel.snapshot()
+
+
+# --------------------------------------------------------------------------- #
+# batched exchanges decompose into the scalar per-query ledger
+# --------------------------------------------------------------------------- #
+
+
+class TestBatchedExchangeLedger:
+    """Every batched quadrant/probe/window exchange must put exactly the
+    per-query records of the scalar path on the wire: same record multiset,
+    same per-direction aggregates, same snapshot.  (Record *order* inside a
+    batch is not part of the contract; aggregation and decomposition are.)"""
+
+    def _fresh_pair(self):
+        session = _fresh_session()
+        return session.device.servers
+
+    def _windows(self, n=9, seed=101):
+        import numpy as np
+
+        from repro.geometry.rect import Rect
+
+        rng = np.random.default_rng(seed)
+        out = []
+        for x, y, w, h in rng.uniform(0.0, 0.6, size=(n, 4)):
+            out.append(Rect(float(x), float(y), float(x + w + 0.01), float(y + h + 0.01)))
+        return out
+
+    @staticmethod
+    def _ledger(channel):
+        from collections import Counter
+
+        return Counter(_records(channel))
+
+    def test_count_batch_decomposes_into_scalar_ledger(self):
+        servers_a = self._fresh_pair()
+        servers_b = self._fresh_pair()
+        windows = self._windows()
+        assert servers_a.r.count_batch(windows) == [
+            servers_b.r.count(w) for w in windows
+        ]
+        assert self._ledger(servers_a.r.channel) == self._ledger(servers_b.r.channel)
+        assert servers_a.r.channel.snapshot() == servers_b.r.channel.snapshot()
+
+    def test_window_batch_decomposes_into_scalar_ledger(self):
+        servers_a = self._fresh_pair()
+        servers_b = self._fresh_pair()
+        windows = self._windows(seed=103)
+        batched = servers_a.s.window_batch(windows)
+        looped = [servers_b.s.window(w) for w in windows]
+        for (_, oids_a), (_, oids_b) in zip(batched, looped):
+            assert sorted(oids_a.tolist()) == sorted(oids_b.tolist())
+        assert self._ledger(servers_a.s.channel) == self._ledger(servers_b.s.channel)
+        assert servers_a.s.channel.snapshot() == servers_b.s.channel.snapshot()
+
+    def test_range_batch_decomposes_into_scalar_ledger(self):
+        import numpy as np
+
+        from repro.geometry.point import Point
+
+        servers_a = self._fresh_pair()
+        servers_b = self._fresh_pair()
+        rng = np.random.default_rng(107)
+        centers = [Point(float(x), float(y)) for x, y in rng.uniform(0, 1, size=(11, 2))]
+        radii = rng.uniform(0.0, 0.1, size=11).tolist()
+        batched = servers_a.r.range_batch(centers, radii)
+        looped = [servers_b.r.range(c, e) for c, e in zip(centers, radii)]
+        for (_, oids_a), (_, oids_b) in zip(batched, looped):
+            assert sorted(oids_a.tolist()) == sorted(oids_b.tolist())
+        assert self._ledger(servers_a.r.channel) == self._ledger(servers_b.r.channel)
+        assert servers_a.r.channel.snapshot() == servers_b.r.channel.snapshot()
+
+    @pytest.mark.parametrize("bucket", [False, True])
+    def test_frontier_upjoin_ledger_equals_recursive(self, bucket):
+        """End to end: the frontier execution's batched quadrant/probe COUNT
+        and operator exchanges leave the same per-query ledger on both
+        channels as the depth-first execution."""
+        ledgers = {}
+        for execution in ("recursive", "frontier"):
+            session = _fresh_session()
+            session.run(
+                algorithm="upjoin",
+                execution=execution,
+                kind="distance",
+                epsilon=0.04,
+                bucket_queries=bucket,
+            )
+            ledgers[execution] = {
+                side: self._ledger(server.channel)
+                for side, server in (
+                    ("R", session.device.servers.r),
+                    ("S", session.device.servers.s),
+                )
+            }
+        assert ledgers["recursive"] == ledgers["frontier"]

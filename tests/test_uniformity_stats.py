@@ -170,6 +170,23 @@ class TestQuadrantCounts:
         assert est.counts == (50.0, 50.0, 50.0, 50.0)
         assert not any(est.exact)
 
+    @pytest.mark.parametrize("total", [1, 2, 3, 13, 13.25, 101.5, 999.875])
+    def test_estimated_counts_conserve_parent_total_exactly(self, total):
+        # Regression: the estimate used to round fractional parent counts to
+        # an int first, so the four quarters could drift from the parent by
+        # up to +-1 object -- and the drift compounded down the recursion.
+        # Division by four is exact in binary floating point, so the sum
+        # must equal the parent bit for bit, at every nesting level.
+        est = estimate_quadrant_counts(WINDOW, total)
+        assert sum(est.counts) == total
+        nested = total
+        window = WINDOW
+        for _ in range(6):
+            quads = estimate_quadrant_counts(window, nested)
+            assert sum(quads.counts) == nested
+            window = quads.quadrants[1]
+            nested = quads.count(1)
+
     def test_counts_are_metered(self):
         device = _device_for(uniform(n=300, seed=9), uniform(n=10, seed=10))
         before = device.total_bytes()

@@ -1,0 +1,255 @@
+"""Frontier-batched UpJoin == depth-first recursive UpJoin, bit for bit.
+
+The frontier executor may only change *when* exchanges are flushed, never
+what crosses the wire or what the planner decides.  This suite runs both
+execution modes over randomized workload families (uniform, clustered,
+skewed, empty-side, duplicate-heavy, degenerate zero-area rectangles) and
+asserts equality of
+
+* the result pair set,
+* the byte totals (overall and per server) and the tariff-weighted cost,
+* the operator counters and the per-server query statistics,
+* the buffer high-water mark, and
+* the *per-depth* decision log: at every recursion depth the two modes
+  must record the same events, in the same order, with the same windows,
+  counts and detail strings.  (The global interleaving differs by
+  construction: depth-first nests subtrees, the frontier emits level by
+  level.)
+
+Every workload generator is seeded, so failures replay deterministically.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+import numpy as np
+import pytest
+
+from repro.api import AdHocJoinSession
+from repro.datasets.dataset import SpatialDataset
+from repro.datasets.railway import generate_railway_like
+from repro.datasets.synthetic import clustered, uniform
+from repro.geometry.rect import Rect
+
+# --------------------------------------------------------------------------- #
+# workload families (all generators take a seed and return two datasets)
+# --------------------------------------------------------------------------- #
+
+
+def _uniform_pair(seed: int) -> Tuple[SpatialDataset, SpatialDataset]:
+    return (
+        uniform(n=80, seed=seed, name="R"),
+        uniform(n=80, seed=seed + 1000, name="S"),
+    )
+
+
+def _clustered_pair(seed: int) -> Tuple[SpatialDataset, SpatialDataset]:
+    return (
+        clustered(n=90, clusters=1 + seed % 5, seed=seed, name="R"),
+        clustered(n=90, clusters=1 + (seed + 2) % 4, seed=seed + 500, std=0.04, name="S"),
+    )
+
+
+def _skewed_pair(seed: int) -> Tuple[SpatialDataset, SpatialDataset]:
+    """One dense knot plus a sparse background: maximal non-uniformity."""
+    rng = np.random.default_rng(seed)
+    knot = rng.normal(loc=(0.2, 0.2), scale=0.015, size=(70, 2))
+    background = rng.uniform(0.0, 1.0, size=(12, 2))
+    r = SpatialDataset.from_points(np.clip(np.vstack([knot, background]), 0, 1), name="R")
+    s = clustered(n=80, clusters=2, seed=seed + 77, std=0.03, name="S")
+    return r, s
+
+
+def _empty_side_pair(seed: int) -> Tuple[SpatialDataset, SpatialDataset]:
+    rng = np.random.default_rng(seed)
+    r = SpatialDataset.from_points(rng.uniform(0, 1, size=(60, 2)), name="R")
+    s = SpatialDataset(mbrs=np.empty((0, 4)), name="S")
+    return r, s
+
+
+def _duplicate_heavy_pair(seed: int) -> Tuple[SpatialDataset, SpatialDataset]:
+    """Many coincident points: exercises HBSJ's un-splittable fallback."""
+    rng = np.random.default_rng(seed)
+    spots = rng.uniform(0.1, 0.9, size=(4, 2))
+    pts_r = np.repeat(spots, 30, axis=0)
+    pts_s = np.vstack([np.repeat(spots[:2], 25, axis=0), rng.uniform(0, 1, (20, 2))])
+    return (
+        SpatialDataset.from_points(pts_r, name="R"),
+        SpatialDataset.from_points(pts_s, name="S"),
+    )
+
+
+def _zero_area_pair(seed: int) -> Tuple[SpatialDataset, SpatialDataset]:
+    """Degenerate rectangles: zero width, zero height, or both."""
+    rng = np.random.default_rng(seed)
+    n = 70
+    x0 = rng.uniform(0, 0.9, n)
+    y0 = rng.uniform(0, 0.9, n)
+    dx = rng.uniform(0, 0.1, n)
+    dy = rng.uniform(0, 0.1, n)
+    kind = rng.integers(0, 3, n)  # 0: h-segment, 1: v-segment, 2: point
+    mbrs_r = np.column_stack(
+        [
+            x0,
+            y0,
+            np.where(kind == 1, x0, x0 + dx),
+            np.where(kind == 0, y0, np.where(kind == 2, y0, y0 + dy)),
+        ]
+    )
+    mbrs_r[kind == 2, 2] = x0[kind == 2]
+    r = SpatialDataset(mbrs=mbrs_r, name="R")
+    s = generate_railway_like(n_segments=60, seed=seed + 9, hubs=5).rename("S")
+    return r, s
+
+
+FAMILIES = {
+    "uniform": _uniform_pair,
+    "clustered": _clustered_pair,
+    "skewed": _skewed_pair,
+    "empty-side": _empty_side_pair,
+    "duplicate-heavy": _duplicate_heavy_pair,
+    "zero-area": _zero_area_pair,
+}
+
+CASES = [
+    pytest.param(family, seed, id=f"{family}-seed{seed}")
+    for family in FAMILIES
+    for seed in (0, 1, 2)
+]
+
+
+# --------------------------------------------------------------------------- #
+# comparison harness
+# --------------------------------------------------------------------------- #
+
+
+def _trace_by_depth(result) -> Dict[int, List[tuple]]:
+    grouped: Dict[int, List[tuple]] = defaultdict(list)
+    for event in result.trace:
+        grouped[event.depth].append(
+            (
+                event.action,
+                event.detail,
+                event.count_r,
+                event.count_s,
+                event.window.as_tuple(),
+            )
+        )
+    return dict(grouped)
+
+
+def _run_mode(datasets, execution: str, **run_kwargs):
+    r, s = datasets
+    session = AdHocJoinSession(r, s, buffer_size=run_kwargs.pop("buffer_size", 96))
+    window = run_kwargs.pop("window", None) or Rect(0.0, 0.0, 1.0, 1.0).union(
+        r.bounds() if len(r) else Rect(0, 0, 1, 1)
+    )
+    return session.run(
+        algorithm="upjoin", execution=execution, window=window, **run_kwargs
+    )
+
+
+def _assert_modes_identical(datasets, **run_kwargs) -> None:
+    first = _run_mode(datasets, "recursive", **dict(run_kwargs))
+    second = _run_mode(datasets, "frontier", **dict(run_kwargs))
+    assert first.sorted_pairs() == second.sorted_pairs()
+    assert first.total_bytes == second.total_bytes
+    assert first.bytes_r == second.bytes_r
+    assert first.bytes_s == second.bytes_s
+    assert first.total_cost == second.total_cost
+    assert first.operator_counts == second.operator_counts
+    assert first.server_stats == second.server_stats
+    assert first.buffer_high_water_mark == second.buffer_high_water_mark
+    trace_r = _trace_by_depth(first)
+    trace_f = _trace_by_depth(second)
+    assert sorted(trace_r) == sorted(trace_f), "recursion depths differ"
+    for depth in trace_r:
+        assert trace_r[depth] == trace_f[depth], f"decision log differs at depth {depth}"
+
+
+# --------------------------------------------------------------------------- #
+# the properties
+# --------------------------------------------------------------------------- #
+
+
+class TestFrontierEqualsRecursive:
+    @pytest.mark.parametrize("family,seed", CASES)
+    def test_distance_join(self, family, seed):
+        _assert_modes_identical(
+            FAMILIES[family](seed), kind="distance", epsilon=0.03, seed=seed
+        )
+
+    @pytest.mark.parametrize("family,seed", CASES)
+    def test_intersection_join(self, family, seed):
+        _assert_modes_identical(FAMILIES[family](seed), kind="intersection", seed=seed)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_small_buffer_forces_operator_recursion(self, seed):
+        # A tiny buffer drives HBSJ into its internal quadrant recursion and
+        # the NLSJ fallback; the batched executors must reproduce both.
+        _assert_modes_identical(
+            _duplicate_heavy_pair(seed),
+            kind="distance",
+            epsilon=0.02,
+            seed=seed,
+            buffer_size=24,
+        )
+
+    @pytest.mark.parametrize("family", ["clustered", "skewed"])
+    def test_bucket_queries(self, family):
+        _assert_modes_identical(
+            FAMILIES[family](3), kind="distance", epsilon=0.04, seed=3, bucket_queries=True
+        )
+
+    @pytest.mark.parametrize("alpha", [0.15, 0.25, 0.35])
+    def test_alpha_sweep(self, alpha):
+        _assert_modes_identical(
+            _clustered_pair(4), kind="distance", epsilon=0.03, seed=4, alpha=alpha
+        )
+
+    def test_tiny_epsilon_distance(self):
+        # An epsilon far below the data resolution: every expanded S window
+        # is essentially the cell itself, maximising prune opportunities.
+        _assert_modes_identical(
+            _duplicate_heavy_pair(5), kind="distance", epsilon=1e-6, seed=5
+        )
+
+
+class TestFrontierMatchesOracle:
+    """The frontier must stay correct, not merely self-consistent."""
+
+    @pytest.mark.parametrize("family,seed", CASES)
+    def test_pairs_match_naive_download(self, family, seed):
+        datasets = FAMILIES[family](seed)
+        frontier = _run_mode(
+            datasets, "frontier", kind="distance", epsilon=0.03, seed=seed
+        )
+        naive = _run_mode(datasets, "recursive", kind="distance", epsilon=0.03, seed=seed)
+        r, s = datasets
+        session = AdHocJoinSession(r, s, buffer_size=96, indexed=False)
+        window = Rect(0.0, 0.0, 1.0, 1.0).union(
+            r.bounds() if len(r) else Rect(0, 0, 1, 1)
+        )
+        oracle = session.run(
+            algorithm="naive", kind="distance", epsilon=0.03, window=window
+        )
+        assert frontier.pairs == oracle.pairs
+        assert naive.pairs == oracle.pairs
+
+
+class TestFrontierDeterminism:
+    def test_repeated_frontier_runs_identical(self):
+        runs = [
+            _run_mode(_clustered_pair(7), "frontier", kind="distance", epsilon=0.03, seed=7)
+            for _ in range(2)
+        ]
+        assert runs[0].sorted_pairs() == runs[1].sorted_pairs()
+        assert runs[0].total_bytes == runs[1].total_bytes
+        assert [e.action for e in runs[0].trace] == [e.action for e in runs[1].trace]
+        assert [e.detail for e in runs[0].trace] == [e.detail for e in runs[1].trace]
+
+    def test_unknown_execution_mode_rejected(self):
+        with pytest.raises(ValueError):
+            _run_mode(_uniform_pair(0), "breadth-first", kind="intersection")
