@@ -1,0 +1,151 @@
+"""Wall-clock record of the shared frontier engine on SrJoin and MobiJoin.
+
+``benchmarks/bench_upjoin.py`` records UpJoin's frontier-vs-recursive win;
+this benchmark extends the record to the two algorithms ported onto the
+shared engine (:mod:`repro.core.frontier`) in the follow-up PR:
+
+* **recursive** -- the seed depth-first execution: per-window quadrant /
+  grid COUNT exchanges, per-window operator invocations, one plane-sweep
+  kernel call per grid bucket per window; and
+* **frontier** -- the level-order engine: the COUNT requests of every
+  window at a recursion depth batched into one exchange per server
+  (answered by the flattened snapshot in a vectorised descent), operator
+  leaves executed through the batch HBSJ/NLSJ pipelines (flat probe
+  assembly, segmented sweep kernels).
+
+The configuration is the ROADMAP's named bottleneck regime: 128 clusters
+(the top of the paper's x-axis) over a 100-object buffer, which drives the
+deepest operator recursion and the largest number of tiny per-window
+exchanges and kernel calls.
+
+Both modes are asserted bit-identical (pairs and bytes) per algorithm
+before any timing is recorded, and the result lands in
+``benchmarks/results/frontier_speedup.json`` so the perf trajectory stays
+machine-readable per PR (mergeable via ``benchmarks/collect.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.api import AdHocJoinSession
+from repro.datasets.workloads import WorkloadSpec
+from repro.experiments.harness import build_datasets
+
+#: Dataset cardinality (4x the paper's figures: at 1 000 points the
+#: workload fits almost entirely in planner overhead and timer noise).
+BENCH_N = 4000
+#: The paper's highest cluster count -- the worst recursion case.
+BENCH_CLUSTERS = 128
+#: Figure 7(a)'s small buffer: forces HBSJ's internal quadrant recursion.
+BENCH_BUFFER = 100
+BENCH_SEEDS = (0, 1)
+#: The algorithms ported onto the shared engine by this record (UpJoin's
+#: own record lives in bench_upjoin.py).
+BENCH_ALGORITHMS = ("srjoin", "mobijoin")
+#: Required minimum speedup per algorithm.
+MIN_SPEEDUP = 2.0
+
+
+def _sessions() -> List[Tuple[AdHocJoinSession, WorkloadSpec]]:
+    out = []
+    for seed in BENCH_SEEDS:
+        spec = WorkloadSpec(
+            r_size=BENCH_N,
+            s_size=BENCH_N,
+            clusters=BENCH_CLUSTERS,
+            seed=seed,
+            epsilon=0.005,
+            buffer_size=BENCH_BUFFER,
+        )
+        dataset_r, dataset_s = build_datasets(spec)
+        out.append(
+            (AdHocJoinSession(dataset_r, dataset_s, buffer_size=BENCH_BUFFER), spec)
+        )
+    return out
+
+
+def _run_sweep(sessions, algorithm: str, execution: str) -> Tuple[float, List[Tuple]]:
+    """One full sweep in one execution mode: wall time + result snapshot."""
+    snapshots = []
+    t0 = time.perf_counter()
+    for session, spec in sessions:
+        result = session.run(
+            algorithm=algorithm,
+            execution=execution,
+            kind="distance",
+            epsilon=spec.epsilon,
+            seed=0,
+            trace=False,
+        )
+        snapshots.append(
+            (result.total_bytes, result.bytes_r, result.bytes_s, result.sorted_pairs())
+        )
+    return time.perf_counter() - t0, snapshots
+
+
+@pytest.mark.perf
+def test_frontier_speedup_record():
+    """Record recursive vs frontier sweep wall time per algorithm as JSON."""
+    sessions = _sessions()
+    algorithms: Dict[str, Dict[str, float]] = {}
+    for algorithm in BENCH_ALGORITHMS:
+        # Warm both paths once (index snapshots, numpy caches), then take
+        # the best of three sweeps per mode.
+        _run_sweep(sessions, algorithm, "recursive")
+        _run_sweep(sessions, algorithm, "frontier")
+        recursive_s = float("inf")
+        frontier_s = float("inf")
+        recursive_snap = frontier_snap = None
+        for _ in range(3):
+            t, snap = _run_sweep(sessions, algorithm, "recursive")
+            recursive_s = min(recursive_s, t)
+            recursive_snap = snap
+            t, snap = _run_sweep(sessions, algorithm, "frontier")
+            frontier_s = min(frontier_s, t)
+            frontier_snap = snap
+
+        # The optimisation contract: not a byte (or pair) of difference.
+        assert recursive_snap == frontier_snap, algorithm
+
+        algorithms[algorithm] = {
+            "recursive_s": round(recursive_s, 4),
+            "frontier_s": round(frontier_s, 4),
+            "speedup": round(recursive_s / frontier_s, 2),
+        }
+
+    record = {
+        "description": (
+            "SrJoin / MobiJoin wall-clock at the high-cluster-count "
+            "configuration: depth-first recursive execution (per-window "
+            "exchanges and kernels) vs the shared level-order frontier "
+            "engine (batched COUNT exchanges per depth, batch HBSJ/NLSJ "
+            "operators, flat probe assembly, segmented sweep kernels); "
+            "best of 3 sweeps"
+        ),
+        "workload": {
+            "dataset_points": BENCH_N,
+            "clusters": BENCH_CLUSTERS,
+            "buffer_size": BENCH_BUFFER,
+            "epsilon": 0.005,
+            "seeds": list(BENCH_SEEDS),
+        },
+        "algorithms": algorithms,
+    }
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "frontier_speedup.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+
+    for algorithm, numbers in algorithms.items():
+        assert numbers["speedup"] >= MIN_SPEEDUP, (
+            f"{algorithm} frontier speedup regressed: {numbers['speedup']}x "
+            f"(recursive {numbers['recursive_s']:.3f}s vs "
+            f"frontier {numbers['frontier_s']:.3f}s)"
+        )

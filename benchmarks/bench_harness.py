@@ -33,6 +33,8 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+import pytest
+
 import statistics
 
 from repro.api import AdHocJoinSession
@@ -154,6 +156,7 @@ def _best_time(fn, repeats: int = 2) -> Tuple[float, object]:
     return best, value
 
 
+@pytest.mark.perf
 def test_experiment_speedup_record():
     """Record cold-serial vs cached(+parallel) sweep wall time as JSON."""
     config = bench_config()

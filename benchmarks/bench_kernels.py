@@ -14,6 +14,7 @@ import time
 from pathlib import Path
 
 import numpy as np
+import pytest
 
 from repro.datasets.synthetic import clustered, uniform
 from repro.geometry import rect_array
@@ -125,6 +126,7 @@ def test_bench_plane_sweep_scalar_reference(benchmark):
     assert len(pairs) > 0
 
 
+@pytest.mark.perf
 def test_kernel_speedup_record():
     """Record the scalar-vs-vectorised kernel speedups as JSON.
 

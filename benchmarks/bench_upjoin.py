@@ -31,6 +31,8 @@ import time
 from pathlib import Path
 from typing import Dict, List, Tuple
 
+import pytest
+
 from repro.api import AdHocJoinSession
 from repro.datasets.workloads import WorkloadSpec
 from repro.experiments.harness import build_datasets
@@ -82,6 +84,7 @@ def _run_sweep(sessions, execution: str) -> Tuple[float, List[Tuple]]:
     return time.perf_counter() - t0, snapshots
 
 
+@pytest.mark.perf
 def test_upjoin_speedup_record():
     """Record recursive vs frontier sweep wall time as JSON."""
     sessions = _sessions()

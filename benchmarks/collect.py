@@ -1,0 +1,75 @@
+"""Merge every per-PR speedup record into one machine-readable trajectory.
+
+Each perf-lane benchmark (``pytest -m perf benchmarks/``) writes its own
+``benchmarks/results/<name>_speedup.json`` record.  This script folds all
+of them into ``benchmarks/results/summary.json`` so the performance
+trajectory of the repository stays readable in one place::
+
+    PYTHONPATH=src python benchmarks/collect.py
+
+The summary maps each record name (the file stem) to its content plus the
+headline speedup(s) pulled to the top level for quick scanning; records
+that nest per-algorithm numbers (``frontier_speedup``) contribute one
+headline entry per algorithm.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+RESULTS_DIR = Path(__file__).parent / "results"
+SUMMARY_PATH = RESULTS_DIR / "summary.json"
+
+
+def _headline_speedups(name: str, record: Dict) -> Dict[str, float]:
+    """Flatten a record's speedup figure(s) to ``label -> x`` pairs."""
+    out: Dict[str, float] = {}
+    if isinstance(record.get("speedup"), (int, float)):
+        out[name] = float(record["speedup"])
+    for group_key in ("algorithms", "cases"):
+        group = record.get(group_key)
+        if isinstance(group, dict):
+            for label, numbers in group.items():
+                if isinstance(numbers, dict) and isinstance(
+                    numbers.get("speedup"), (int, float)
+                ):
+                    out[f"{name}:{label}"] = float(numbers["speedup"])
+    return out
+
+
+def collect(results_dir: Path = RESULTS_DIR) -> Dict:
+    """Read every ``*_speedup.json`` record and assemble the summary."""
+    records: Dict[str, Dict] = {}
+    headline: Dict[str, float] = {}
+    for path in sorted(results_dir.glob("*_speedup.json")):
+        try:
+            record = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            # A partial write (interrupted benchmark) must not erase the
+            # rest of the trajectory; skip it loudly.
+            print(f"warning: skipping unreadable record {path}: {exc}")
+            continue
+        name = path.stem
+        records[name] = record
+        headline.update(_headline_speedups(name, record))
+    return {
+        "records": records,
+        "speedups": dict(sorted(headline.items())),
+    }
+
+
+def main() -> None:
+    if not RESULTS_DIR.is_dir():
+        raise SystemExit(f"no results directory at {RESULTS_DIR}")
+    summary = collect()
+    SUMMARY_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    names = ", ".join(sorted(summary["records"])) or "none"
+    print(f"wrote {SUMMARY_PATH} ({len(summary['records'])} records: {names})")
+    for label, x in summary["speedups"].items():
+        print(f"  {label}: {x}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -262,8 +262,19 @@ class MobileJoinAlgorithm(ABC):
         return "R", c2
 
     def quadrants_of(self, window: Rect) -> List[Rect]:
-        """The 2 x 2 decomposition used by every repartitioning step."""
-        return window.quadrants()
+        """The 2 x 2 decomposition used by every repartitioning step.
+
+        Built from the bulk :func:`~repro.geometry.rect_array.quadrant_cells`
+        kernel (midpoint split, bit-identical to :meth:`Rect.quadrants`),
+        the same substrate MobiJoin's ``k x k`` grid step uses through
+        :func:`~repro.geometry.rect_array.subdivide_window`.
+        """
+        from repro.geometry import rect_array  # deferred: avoids a cycle
+
+        return [
+            Rect(x0, y0, x1, y1)
+            for x0, y0, x1, y1 in rect_array.quadrant_cells(window).tolist()
+        ]
 
     def record(
         self,

@@ -1,0 +1,299 @@
+"""The shared frontier execution engine for the adaptive join algorithms.
+
+Every partition-based algorithm in this reproduction (MobiJoin, UpJoin,
+SrJoin) is a recursion over windows: inspect a window with COUNT queries,
+then either prune it, finish it with a physical operator, or decompose it
+and recurse.  The paper's recursion constrains *which* windows are queried
+and what bytes cross the wire -- not the order in which exchanges are
+flushed -- so sibling windows at one recursion depth can legally share one
+batched round trip.
+
+This module factors that insight out of ``core/upjoin.py`` (where PR 3
+proved it) into an engine any algorithm can opt into:
+
+* The algorithm writes its per-window decision logic once, as a *request
+  generator* (:meth:`FrontierAlgorithm._window_steps`): it yields batches
+  of :class:`~repro.core.stats.CountRequest` and returns a terminal
+  outcome -- ``None`` (pruned), an :class:`OperatorLeaf`, or a list of
+  child tasks.  A window's fate is always resolved by the run that owns
+  it (SrJoin's quadrants, for example, become child tasks carrying the
+  parent's bitmap verdict and only *then* turn into leaves), which is
+  what keeps the per-depth decision log driver-independent.
+* ``execution="recursive"`` drives the generator depth-first: every
+  request is satisfied immediately with the same scalar/batched exchanges
+  the seed implementation issued, and leaves run as they are reached.
+  This is the bit-identical reference path.
+* ``execution="frontier"`` (the default) drives all windows of one
+  recursion depth in lock-step rounds: the pending COUNT requests of a
+  round are concatenated into one batched exchange per server (answered by
+  the server's flattened aggregate-tree snapshot in a single vectorised
+  descent), and the physical-operator leaves of the level run through the
+  device's batch executors (:meth:`~repro.device.pda.MobileDevice.hbsj_batch`
+  / :meth:`~repro.device.pda.MobileDevice.nlsj_batch`), which concatenate
+  window retrievals, probes and in-memory join kernels across leaves.
+
+Both drivers issue the same queries with the same payloads and record the
+same per-depth trace, so pairs, byte totals, server statistics and decision
+logs are bit-identical (pinned by ``tests/test_frontier_equivalence.py``
+and the frozen logs in ``tests/test_golden_traces.py``).  Tasks are
+algorithm-specific; the engine only requires them to expose ``window`` and
+``depth`` attributes (used for trace bookkeeping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional, Sequence
+
+from repro.core.base import MobileJoinAlgorithm
+from repro.core.stats import CountRequest, execute_count_requests
+from repro.device.hbsj import HBSJRequest
+from repro.device.nlsj import NLSJRequest
+from repro.geometry.rect import Rect
+
+__all__ = ["FrontierAlgorithm", "OperatorLeaf"]
+
+
+@dataclass(frozen=True)
+class OperatorLeaf:
+    """A window the planner finished with a physical operator.
+
+    ``counts_exact=False`` means the counts are estimates and must not be
+    forwarded to the operator, which will issue its own COUNT queries --
+    the paper's "issue additional aggregate queries only when accuracy is
+    crucial, i.e. when applying the physical operators".
+    """
+
+    op: str  # "hbsj" | "nlsj"
+    window: Rect
+    count_r: int
+    count_s: int
+    counts_exact: bool = True
+    outer: str = "S"
+
+
+@dataclass
+class _Run:
+    """Execution state of one window's step generator (frontier driver)."""
+
+    task: object
+    gen: Generator
+    events: List = field(default_factory=list)
+    pending: Optional[List[CountRequest]] = None
+    outcome: Optional[object] = None
+
+
+class FrontierAlgorithm(MobileJoinAlgorithm):
+    """Base class of algorithms driven by the frontier engine.
+
+    Subclasses implement :meth:`_root_task` and :meth:`_window_steps`; the
+    engine provides both execution drivers behind the ``execution``
+    constructor argument (``"frontier"`` default, ``"recursive"`` the
+    depth-first reference -- both bit-identical in pairs, bytes and
+    per-depth traces).
+    """
+
+    def __init__(self, device, spec, params=None, execution: str = "frontier") -> None:
+        super().__init__(device, spec, params)
+        execution = execution.lower()
+        if execution not in ("frontier", "recursive"):
+            raise ValueError(
+                f"unknown execution mode {execution!r}; "
+                "expected 'frontier' or 'recursive'"
+            )
+        self.execution = execution
+
+    # ------------------------------------------------------------------ #
+    # to be provided by each algorithm
+    # ------------------------------------------------------------------ #
+
+    def _root_task(self, window: Rect, count_r: int, count_s: int, depth: int):
+        """Build the root task for the joined window (counts already known)."""
+        raise NotImplementedError
+
+    def _window_steps(self, task, rec):
+        """The per-window decision generator.
+
+        Yields lists of :class:`CountRequest` (raw query windows, margins
+        pre-applied) and receives one list of counts per request; returns
+        ``None``, an :class:`OperatorLeaf`, or a list of child tasks.
+        ``rec(action, detail, count_r, count_s, depth=..., window=...)``
+        appends a trace event, defaulting to the task's own depth and
+        window.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # entry point shared by every frontier algorithm
+    # ------------------------------------------------------------------ #
+
+    def _execute(self, window: Rect, count_r: int, count_s: int, depth: int) -> None:
+        root = self._root_task(window, count_r, count_s, depth)
+        if self.execution == "recursive":
+            self._execute_recursive(root)
+        else:
+            self._execute_frontier([root])
+
+    def _prune_window(self, rec, count_r: int, count_s: int) -> None:
+        """Record a pruned window (one side empty) inside a step generator.
+
+        The counter update and the trace wording must stay in lock-step
+        across every algorithm's generator -- the frontier/recursive
+        equivalence suite and the golden-trace fixtures compare both.
+        """
+        self.device.counts.windows_pruned += 1
+        rec("prune", "empty side", count_r, count_s)
+
+    def _task_recorder(self, task, sink: Optional[List] = None):
+        """A trace recorder bound to one task (and optionally a sink).
+
+        The frontier driver buffers each window's events in a run-owned
+        sink and splices them into the trace in window order, so the
+        per-depth decision log is identical to the depth-first execution
+        even though queries are batched across windows.
+        """
+
+        def rec(action, detail="", count_r=None, count_s=None, depth=None, window=None):
+            self.record(
+                task.depth if depth is None else depth,
+                task.window if window is None else window,
+                action,
+                detail,
+                count_r,
+                count_s,
+                sink=sink,
+            )
+
+        return rec
+
+    # ------------------------------------------------------------------ #
+    # depth-first reference driver
+    # ------------------------------------------------------------------ #
+
+    def _execute_recursive(self, task) -> None:
+        gen = self._window_steps(task, self._task_recorder(task))
+        outcome = None
+        try:
+            requests = gen.send(None)
+            while True:
+                requests = gen.send(execute_count_requests(self.device, requests))
+        except StopIteration as stop:
+            outcome = stop.value
+        if outcome is None:
+            return
+        if isinstance(outcome, OperatorLeaf):
+            self._run_leaf(outcome)
+            return
+        for child in outcome:
+            self._execute_recursive(child)
+
+    def _run_leaf(self, leaf: OperatorLeaf) -> None:
+        """Execute one physical-operator leaf immediately (reference path)."""
+        if leaf.op == "hbsj":
+            result = self.device.hbsj(
+                leaf.window,
+                self.predicate,
+                count_r=leaf.count_r if leaf.counts_exact else None,
+                count_s=leaf.count_s if leaf.counts_exact else None,
+            )
+        else:
+            result = self.device.nlsj(
+                leaf.window,
+                self.predicate,
+                outer=leaf.outer,
+                bucket=self.params.bucket_queries,
+            )
+        self._pairs.update(result.pairs)
+
+    # ------------------------------------------------------------------ #
+    # level-order frontier driver
+    # ------------------------------------------------------------------ #
+
+    def _execute_frontier(self, level: List) -> None:
+        while level:
+            runs = [self._start_run(task) for task in level]
+            self._drive_level(runs)
+            leaves: List[OperatorLeaf] = []
+            next_level: List = []
+            for run in runs:
+                if isinstance(run.outcome, OperatorLeaf):
+                    leaves.append(run.outcome)
+                elif run.outcome is not None:
+                    next_level.extend(run.outcome)
+            self._run_leaves_batched(leaves)
+            if self.params.trace:
+                for run in runs:
+                    self._trace.extend(run.events)
+            level = next_level
+
+    def _start_run(self, task) -> _Run:
+        run = _Run(task=task, gen=None)  # type: ignore[arg-type]
+        run.gen = self._window_steps(task, self._task_recorder(task, sink=run.events))
+        self._advance_run(run, None)
+        return run
+
+    @staticmethod
+    def _advance_run(run: _Run, response) -> None:
+        try:
+            run.pending = run.gen.send(response)
+        except StopIteration as stop:
+            run.pending = None
+            run.outcome = stop.value
+
+    def _drive_level(self, runs: List[_Run]) -> None:
+        """Advance every window of the level in lock-step rounds.
+
+        Each round gathers the pending COUNT requests of all still-active
+        windows and ships them as one batched exchange per server -- the
+        same queries, in task order, that the depth-first driver issues one
+        window at a time.
+        """
+        pending = [run for run in runs if run.pending is not None]
+        while pending:
+            batches: dict = {}
+            for run in pending:
+                for req in run.pending:
+                    batches.setdefault(req.server, []).extend(req.rects)
+            answers = {
+                server: self.device.count_windows(server, rects) if rects else []
+                for server, rects in batches.items()
+            }
+            cursors = {server: 0 for server in batches}
+            still_pending: List[_Run] = []
+            for run in pending:
+                response: List[List[int]] = []
+                for req in run.pending:
+                    start = cursors[req.server]
+                    cursors[req.server] = start + len(req.rects)
+                    response.append(answers[req.server][start : start + len(req.rects)])
+                self._advance_run(run, response)
+                if run.pending is not None:
+                    still_pending.append(run)
+            pending = still_pending
+
+    def _run_leaves_batched(self, leaves: Sequence[OperatorLeaf]) -> None:
+        """Execute the level's physical-operator leaves through the batch
+        operators: one batched download / probe / kernel pipeline per
+        operator kind instead of one device call per window."""
+        hbsj_leaves = [leaf for leaf in leaves if leaf.op == "hbsj"]
+        nlsj_leaves = [leaf for leaf in leaves if leaf.op == "nlsj"]
+        if hbsj_leaves:
+            requests = [
+                HBSJRequest(
+                    window=leaf.window,
+                    count_r=leaf.count_r if leaf.counts_exact else None,
+                    count_s=leaf.count_s if leaf.counts_exact else None,
+                )
+                for leaf in hbsj_leaves
+            ]
+            for result in self.device.hbsj_batch(requests, self.predicate):
+                self._pairs.update(result.pairs)
+        if nlsj_leaves:
+            requests = [
+                NLSJRequest(window=leaf.window, outer=leaf.outer)
+                for leaf in nlsj_leaves
+            ]
+            for result in self.device.nlsj_batch(
+                requests, self.predicate, bucket=self.params.bucket_queries
+            ):
+                self._pairs.update(result.pairs)

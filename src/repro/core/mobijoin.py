@@ -15,39 +15,54 @@ faithfully -- is the estimate of ``c4``: MobiJoin assumes the window is
 sub-window is costed as an HBSJ of ``n/k^2`` objects.  Skewed data makes
 this estimate wildly optimistic or pessimistic (Figure 2), which is exactly
 what UpJoin and SrJoin fix.
+
+The per-window logic is a request generator (:meth:`MobiJoin._window_steps`)
+executed by the shared frontier engine (:mod:`repro.core.frontier`):
+``execution="frontier"`` (default) batches the ``2 k^2`` repartitioning
+COUNTs of every window at a recursion depth into one exchange per server
+and runs all operator leaves of the level through the batch executors,
+bit-identical to the depth-first reference (``execution="recursive"``).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import List
 
-from repro.core.base import MAX_DEPTH, AlgorithmParameters, MobileJoinAlgorithm
-from repro.core.join_types import JoinSpec
-from repro.device.pda import MobileDevice
+from repro.core.frontier import FrontierAlgorithm, OperatorLeaf
+from repro.core.stats import CountRequest
 from repro.geometry.rect import Rect
 
 __all__ = ["MobiJoin"]
 
 
-class MobiJoin(MobileJoinAlgorithm):
+@dataclass(frozen=True)
+class _Task:
+    """One window pending a strategy decision at some recursion depth."""
+
+    window: Rect
+    count_r: int
+    count_s: int
+    depth: int
+
+
+class MobiJoin(FrontierAlgorithm):
     """The partition-and-prune baseline algorithm."""
 
     name = "mobijoin"
 
-    def __init__(
-        self,
-        device: MobileDevice,
-        spec: JoinSpec,
-        params: Optional[AlgorithmParameters] = None,
-    ) -> None:
-        super().__init__(device, spec, params)
-
     # ------------------------------------------------------------------ #
 
-    def _execute(self, window: Rect, count_r: int, count_s: int, depth: int) -> None:
+    def _root_task(self, window: Rect, count_r: int, count_s: int, depth: int) -> _Task:
+        return _Task(window=window, count_r=count_r, count_s=count_s, depth=depth)
+
+    def _window_steps(self, task: _Task, rec):
+        window, depth = task.window, task.depth
+        count_r, count_s = task.count_r, task.count_s
+
         if count_r == 0 or count_s == 0:
-            self.prune(window, depth, count_r, count_s)
-            return
+            self._prune_window(rec, count_r, count_s)
+            return None
 
         breakdown = self.cost_model.breakdown(
             window,
@@ -58,9 +73,7 @@ class MobiJoin(MobileJoinAlgorithm):
             include_c4=not self.should_stop_partitioning(window, depth),
         )
         choice = breakdown.cheapest()
-        self.record(
-            depth,
-            window,
+        rec(
             "plan",
             f"c1={breakdown.c1_hbsj:.0f} c2={breakdown.c2_nlsj_outer_r:.0f} "
             f"c3={breakdown.c3_nlsj_outer_s:.0f} c4~{breakdown.c4_repartition:.0f} "
@@ -70,28 +83,33 @@ class MobiJoin(MobileJoinAlgorithm):
         )
 
         if choice == "c1":
-            self.apply_hbsj(window, depth, count_r, count_s)
-        elif choice == "c2":
-            self.apply_nlsj(window, depth, outer="R", count_r=count_r, count_s=count_s)
-        elif choice == "c3":
-            self.apply_nlsj(window, depth, outer="S", count_r=count_r, count_s=count_s)
-        else:
-            self._repartition(window, depth)
+            rec("HBSJ", "", count_r, count_s)
+            return OperatorLeaf("hbsj", window, count_r, count_s)
+        if choice in ("c2", "c3"):
+            outer = "R" if choice == "c2" else "S"
+            rec(
+                "NLSJ",
+                f"outer={outer}, bucket={self.params.bucket_queries}",
+                count_r,
+                count_s,
+            )
+            return OperatorLeaf("nlsj", window, count_r, count_s, outer=outer)
 
-    # ------------------------------------------------------------------ #
-
-    def _repartition(self, window: Rect, depth: int) -> None:
-        """Divide the window into a regular ``k x k`` grid and recurse.
-
-        Every cell costs two COUNT queries (one per server), matching the
-        ``2 k^2 * Taq`` term of Eq. 8.
-        """
+        # Strategy c4: divide the window into a regular ``k x k`` grid and
+        # recurse.  Every cell costs two COUNT queries (one per server),
+        # matching the ``2 k^2 * Taq`` term of Eq. 8; the frontier driver
+        # merges the batches of all repartitioning windows of a depth into
+        # one exchange per server.
         self.device.note_repartition()
         k = self.params.grid_k
-        self.record(depth, window, "repartition", f"{k}x{k} grid")
+        rec("repartition", f"{k}x{k} grid")
         cells = window.subdivide(k)
-        # The 2 k^2 COUNTs of Eq. 8 go out as two batches (one per server).
-        counts_r = self.count_windows("R", cells)
-        counts_s = self.count_windows("S", cells)
-        for cell, sub_r, sub_s in zip(cells, counts_r, counts_s):
-            self._execute(cell, sub_r, sub_s, depth + 1)
+        counts_r, counts_s = yield [
+            CountRequest("R", tuple(self.query_window("R", c) for c in cells)),
+            CountRequest("S", tuple(self.query_window("S", c) for c in cells)),
+        ]
+        children: List[_Task] = [
+            _Task(window=cell, count_r=sub_r, count_s=sub_s, depth=depth + 1)
+            for cell, sub_r, sub_s in zip(cells, counts_r, counts_s)
+        ]
+        return children

@@ -20,51 +20,119 @@ For the current window SrJoin:
    ``3 * Taq``); otherwise SrJoin recurses into it, charging only the
    aggregate queries -- the paper's "aggressive estimation for the cost of
    repartitioning".
+
+The logic is written once, as a per-window request generator
+(:meth:`SrJoin._window_steps`), and executed by the shared frontier engine
+(:mod:`repro.core.frontier`).  A window that decomposes spawns one child
+task per quadrant, carrying the parent's bitmap verdict and the quadrant's
+(confirmed) counts; the *child* then resolves its fate -- prune, operator
+leaf, or recurse into its own statistics retrieval.  Keeping every trace
+event inside the run that owns its window is what makes the per-depth
+decision log identical between ``execution="recursive"`` (the depth-first
+reference) and ``execution="frontier"`` (the level-order batched default):
+both drivers visit the windows of a depth in the same lexicographic path
+order.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional
 
-from repro.core.base import MAX_DEPTH, AlgorithmParameters, MobileJoinAlgorithm
-from repro.core.join_types import JoinSpec
-from repro.core.stats import QuadrantCounts, fetch_quadrant_counts
+from repro.core.frontier import FrontierAlgorithm, OperatorLeaf
+from repro.core.stats import CountRequest, quadrant_count_steps
 from repro.core.uniformity import bitmaps_equal, density_bitmap
-from repro.device.pda import MobileDevice
 from repro.geometry.rect import Rect
 
 __all__ = ["SrJoin"]
 
 
-class SrJoin(MobileJoinAlgorithm):
+@dataclass(frozen=True)
+class _Task:
+    """One window pending a decision at some recursion depth.
+
+    ``parent_similar`` carries the bitmap verdict of the parent window
+    (``None`` for the root, which always proceeds to its own statistics):
+    a quadrant of a *similar* parent is finished immediately, a quadrant of
+    a *different* parent may still recurse.  ``counts_exact`` tells whether
+    the counts came from real COUNT queries (suspicious zeros are confirmed
+    by the parent before the task is created, so pruning decisions are
+    always based on exact values).
+    """
+
+    window: Rect
+    count_r: float
+    count_s: float
+    counts_exact: bool
+    parent_similar: Optional[bool]
+    depth: int
+
+
+class SrJoin(FrontierAlgorithm):
     """The similarity-driven distribution-aware join."""
 
     name = "srjoin"
 
-    def __init__(
-        self,
-        device: MobileDevice,
-        spec: JoinSpec,
-        params: Optional[AlgorithmParameters] = None,
-    ) -> None:
-        super().__init__(device, spec, params)
-
     # ------------------------------------------------------------------ #
 
-    def _execute(self, window: Rect, count_r: int, count_s: int, depth: int) -> None:
-        if count_r == 0 or count_s == 0:
-            self.prune(window, depth, count_r, count_s)
-            return
-        self._recurse(window, count_r, count_s, depth)
+    def _root_task(self, window: Rect, count_r: int, count_s: int, depth: int) -> _Task:
+        return _Task(
+            window=window,
+            count_r=count_r,
+            count_s=count_s,
+            counts_exact=True,
+            parent_similar=None,
+            depth=depth,
+        )
 
-    def _recurse(self, window: Rect, count_r: int, count_s: int, depth: int) -> None:
+    def _window_steps(self, task: _Task, rec):
+        window, depth = task.window, task.depth
+        count_r, count_s = task.count_r, task.count_s
+
+        if count_r <= 0 or count_s <= 0:
+            # Zeros are exact here: the root counts come from real COUNTs
+            # and suspicious quadrant zeros were confirmed by the parent.
+            self._prune_window(rec, int(count_r), int(count_s))
+            return None
+
+        count_r, count_s = int(round(count_r)), int(round(count_s))
+        if task.parent_similar is not None:
+            # Lines 7-19: resolve the fate the parent's bitmap comparison
+            # implies for this quadrant.
+            c1 = self.cost_model.c1(
+                window, count_r, count_s, buffer_size=None, enforce_buffer=False
+            )
+            nlsj_outer, nlsj_cost = self.cheaper_nlsj_side(window, count_r, count_s)
+
+            if task.parent_similar or self.should_stop_partitioning(window, depth):
+                # Lines 7-11: distributions match (or the quadrant is too
+                # small for further refinement) -- finish it now.
+                return self._operator_leaf(
+                    window, count_r, count_s, c1, nlsj_outer, nlsj_cost,
+                    task.counts_exact, rec,
+                )
+
+            # Lines 13-19: distributions differ.
+            if (
+                c1 < 3.0 * self.cost_model.taq
+                or nlsj_cost < 3.0 * self.cost_model.taq
+                or not self.refinement_worthwhile(window, count_r, count_s)
+            ):
+                # The quadrant is too small for more statistics to pay off.
+                return self._operator_leaf(
+                    window, count_r, count_s, c1, nlsj_outer, nlsj_cost,
+                    task.counts_exact, rec,
+                )
+            # Repartition aggressively, hoping the next level prunes.
+            self.device.note_repartition()
+            rec("recurse", "bitmaps differ", count_r, count_s)
+
         # Lines 1-2: quadrant statistics for both datasets (R counted on the
         # raw quadrants, S on their epsilon-expanded query windows).
-        quad_r = fetch_quadrant_counts(
-            self.device, "R", window, count_r, derive_fourth=True, margin=0.0
+        quad_r = yield from quadrant_count_steps(
+            "R", window, count_r, derive_fourth=True, margin=0.0
         )
-        quad_s = fetch_quadrant_counts(
-            self.device,
+        quad_s = yield from quadrant_count_steps(
             "S",
             window,
             count_s,
@@ -77,9 +145,7 @@ class SrJoin(MobileJoinAlgorithm):
         bits_r = density_bitmap(window, quadrants, count_r, quad_r.counts, self.params.rho)
         bits_s = density_bitmap(window, quadrants, count_s, quad_s.counts, self.params.rho)
         similar = bitmaps_equal(bits_r, bits_s)
-        self.record(
-            depth,
-            window,
+        rec(
             "bitmaps",
             f"R={''.join('1' if b else '0' for b in bits_r)} "
             f"S={''.join('1' if b else '0' for b in bits_s)} "
@@ -102,71 +168,56 @@ class SrJoin(MobileJoinAlgorithm):
         confirmed = {}
         if suspicious:
             cells = [quadrants[i] for i in suspicious]
-            real_r = self.count_windows("R", cells)
-            real_s = self.count_windows("S", cells)
+            real_r, real_s = yield [
+                CountRequest("R", tuple(self.query_window("R", c) for c in cells)),
+                CountRequest("S", tuple(self.query_window("S", c) for c in cells)),
+            ]
             confirmed = dict(zip(suspicious, zip(real_r, real_s)))
 
+        children = []
         for i, cell in enumerate(quadrants):
             cell_r = quad_r.count(i)
             cell_s = quad_s.count(i)
             exact = quad_r.is_exact(i) and quad_s.is_exact(i)
-
-            if cell_r <= 0 or cell_s <= 0:
-                if i in confirmed:
-                    real_r_i, real_s_i = confirmed[i]
-                    if real_r_i > 0 and real_s_i > 0:
-                        cell_r, cell_s, exact = float(real_r_i), float(real_s_i), True
-                    else:
-                        self.prune(cell, depth + 1, real_r_i, real_s_i)
-                        continue
-                else:
-                    self.prune(cell, depth + 1, int(cell_r), int(cell_s))
-                    continue
-
-            int_r, int_s = int(round(cell_r)), int(round(cell_s))
-            # The cost model's c1 is evaluated without the hard buffer cut:
-            # SrJoin's HBSJ recursively partitions windows that do not fit
-            # (Section 4.2), so the estimate stays finite.
-            c1 = self.cost_model.c1(cell, int_r, int_s, buffer_size=None, enforce_buffer=False)
-            nlsj_outer, nlsj_cost = self.cheaper_nlsj_side(cell, int_r, int_s)
-
-            if similar or self.should_stop_partitioning(cell, depth + 1):
-                # Lines 7-11: distributions match (or the quadrant is too
-                # small for further refinement) -- finish it now.
-                self._apply_operator(cell, depth + 1, int_r, int_s, c1, nlsj_outer, nlsj_cost, exact)
-                continue
-
-            # Lines 13-19: distributions differ.
-            if (
-                c1 < 3.0 * self.cost_model.taq
-                or nlsj_cost < 3.0 * self.cost_model.taq
-                or not self.refinement_worthwhile(cell, int_r, int_s)
-            ):
-                # The quadrant is too small for more statistics to pay off.
-                self._apply_operator(cell, depth + 1, int_r, int_s, c1, nlsj_outer, nlsj_cost, exact)
-            else:
-                # Repartition aggressively, hoping the next level prunes.
-                self.device.note_repartition()
-                self.record(depth + 1, cell, "recurse", "bitmaps differ", int_r, int_s)
-                self._recurse(cell, int_r, int_s, depth + 1)
+            if i in confirmed:
+                real_r_i, real_s_i = confirmed[i]
+                cell_r, cell_s, exact = float(real_r_i), float(real_s_i), True
+            children.append(
+                _Task(
+                    window=cell,
+                    count_r=cell_r,
+                    count_s=cell_s,
+                    counts_exact=exact,
+                    parent_similar=similar,
+                    depth=depth + 1,
+                )
+            )
+        return children
 
     # ------------------------------------------------------------------ #
 
-    def _apply_operator(
+    def _operator_leaf(
         self,
         cell: Rect,
-        depth: int,
         count_r: int,
         count_s: int,
         c1: float,
         nlsj_outer: str,
         nlsj_cost: float,
         counts_exact: bool,
-    ) -> None:
+        rec,
+    ) -> OperatorLeaf:
         """Finish a quadrant with the cheaper physical operator (lines 9-11/16-18)."""
         if c1 <= nlsj_cost:
             # HBSJ; the operator itself repartitions recursively when the
-            # quadrant does not fit the device buffer.
-            self.apply_hbsj(cell, depth, count_r, count_s, counts_exact=counts_exact)
-        else:
-            self.apply_nlsj(cell, depth, outer=nlsj_outer, count_r=count_r, count_s=count_s)
+            # quadrant does not fit the device buffer.  c1 is evaluated
+            # without the hard buffer cut, so the estimate stays finite.
+            rec("HBSJ", "", count_r, count_s)
+            return OperatorLeaf("hbsj", cell, count_r, count_s, counts_exact=counts_exact)
+        rec(
+            "NLSJ",
+            f"outer={nlsj_outer}, bucket={self.params.bucket_queries}",
+            count_r,
+            count_s,
+        )
+        return OperatorLeaf("nlsj", cell, count_r, count_s, outer=nlsj_outer)

@@ -15,10 +15,11 @@ The retrieval logic is written once as a *request generator*
 (:func:`quadrant_count_steps`): it yields :class:`CountRequest` batches and
 receives the counts, so the same decision code can be driven either
 depth-first (one exchange per window, :func:`fetch_quadrant_counts`) or by
-UpJoin's level-order frontier executor, which concatenates the requests of
-every window at a recursion depth into one batched COUNT exchange per
-server.  Both drivers issue the same queries with the same payloads, so the
-metered bytes are bit-identical.
+the shared level-order frontier engine (:mod:`repro.core.frontier`, used
+by UpJoin and SrJoin), which concatenates the requests of every window at
+a recursion depth into one batched COUNT exchange per server.  Both
+drivers issue the same queries with the same payloads, so the metered
+bytes are bit-identical.
 """
 
 from __future__ import annotations

@@ -23,53 +23,33 @@ declared uniform its sub-window counts are estimated (not queried), and
 exact counts are fetched again only when a physical operator is about to
 run.
 
-Execution modes
----------------
+Execution
+---------
 
 The decision logic above is written once, as a per-window *request
-generator* (:meth:`UpJoin._window_steps`): it yields batches of
-:class:`~repro.core.stats.CountRequest` and finishes with a terminal
-outcome (prune / physical-operator leaf / repartition into quadrants).
-Two drivers execute it:
-
-* ``execution="recursive"`` -- the reference depth-first driver.  Every
-  request is satisfied immediately with the same scalar/batched calls the
-  seed implementation issued, and leaves run as they are reached.
-* ``execution="frontier"`` (default) -- a level-order driver.  All windows
-  of one recursion depth advance in lock-step rounds; the pending COUNT
-  requests of a round are concatenated into one batched exchange per
-  server, answered by the server's flattened aggregate-tree snapshot in a
-  single vectorised descent.  Physical-operator leaves of the level are
-  executed through the device's batch operators
-  (:meth:`~repro.device.pda.MobileDevice.hbsj_batch` /
-  :meth:`~repro.device.pda.MobileDevice.nlsj_batch`), which concatenate
-  window retrievals, probes and in-memory join kernels across leaves.
-
-The paper's recursion only constrains *which* windows are queried and what
-bytes cross the wire -- not the order exchanges are flushed -- so sibling
-windows can legally share one exchange.  Both drivers issue the same
-queries with the same payloads and record the same per-depth trace, so
-pairs, byte totals and decision logs are bit-identical (the randomized
-property suite in ``tests/test_upjoin_frontier.py`` pins this).  The
-location of the uniformity-confirmation probe is derived deterministically
-from ``(seed, depth, side, window)`` rather than from a shared sequential
+generator* (:meth:`UpJoin._window_steps`), and executed by the shared
+frontier engine (:mod:`repro.core.frontier`): ``execution="recursive"`` is
+the depth-first reference, ``execution="frontier"`` (default) the
+level-order batched executor.  Both produce bit-identical pairs, bytes and
+per-depth traces (the randomized property suite in
+``tests/test_frontier_equivalence.py`` pins this).  The location of the
+uniformity-confirmation probe is derived deterministically from
+``(seed, depth, side, window)`` rather than from a shared sequential
 stream, which makes the draw independent of traversal order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Generator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.base import MAX_DEPTH, AlgorithmParameters, MobileJoinAlgorithm
-from repro.core.join_types import JoinSpec
+from repro.core.frontier import FrontierAlgorithm, OperatorLeaf
 from repro.core.stats import (
     CountRequest,
     QuadrantCounts,
     estimate_quadrant_counts,
-    execute_count_requests,
     quadrant_count_steps,
 )
 from repro.core.uniformity import (
@@ -77,9 +57,6 @@ from repro.core.uniformity import (
     is_uniform,
     worth_retrieving_statistics,
 )
-from repro.device.hbsj import HBSJRequest
-from repro.device.nlsj import NLSJRequest
-from repro.device.pda import MobileDevice
 from repro.geometry.rect import Rect
 
 __all__ = ["UpJoin"]
@@ -108,30 +85,7 @@ class _Task:
     depth: int
 
 
-@dataclass(frozen=True)
-class _Leaf:
-    """A window the planner finished with a physical operator."""
-
-    op: str  # "hbsj" | "nlsj"
-    window: Rect
-    count_r: int
-    count_s: int
-    counts_exact: bool = True
-    outer: str = "S"
-
-
-@dataclass
-class _Run:
-    """Execution state of one window's step generator (frontier driver)."""
-
-    task: _Task
-    gen: Generator
-    events: List = field(default_factory=list)
-    pending: Optional[List[CountRequest]] = None
-    outcome: Optional[object] = None
-
-
-class UpJoin(MobileJoinAlgorithm):
+class UpJoin(FrontierAlgorithm):
     """The distribution-aware Uniform Partition Join.
 
     Parameters
@@ -144,26 +98,10 @@ class UpJoin(MobileJoinAlgorithm):
 
     name = "upjoin"
 
-    def __init__(
-        self,
-        device: MobileDevice,
-        spec: JoinSpec,
-        params: Optional[AlgorithmParameters] = None,
-        execution: str = "frontier",
-    ) -> None:
-        super().__init__(device, spec, params)
-        execution = execution.lower()
-        if execution not in ("frontier", "recursive"):
-            raise ValueError(
-                f"unknown execution mode {execution!r}; "
-                "expected 'frontier' or 'recursive'"
-            )
-        self.execution = execution
-
     # ------------------------------------------------------------------ #
 
-    def _execute(self, window: Rect, count_r: int, count_s: int, depth: int) -> None:
-        root = _Task(
+    def _root_task(self, window: Rect, count_r: int, count_s: int, depth: int) -> _Task:
+        return _Task(
             window=window,
             count_r=float(count_r),
             count_s=float(count_s),
@@ -172,10 +110,6 @@ class UpJoin(MobileJoinAlgorithm):
             known_uniform_s=False,
             depth=depth,
         )
-        if self.execution == "recursive":
-            self._execute_recursive(root)
-        else:
-            self._execute_frontier([root])
 
     # ------------------------------------------------------------------ #
     # per-window decision logic (lines 1-14 of Figure 3), shared verbatim
@@ -192,8 +126,7 @@ class UpJoin(MobileJoinAlgorithm):
         # objects can never be lost to the count-derivation shortcut.
         if count_r <= 0 or count_s <= 0:
             if counts_exact:
-                self.device.counts.windows_pruned += 1
-                rec("prune", "empty side", int(count_r), int(count_s))
+                self._prune_window(rec, int(count_r), int(count_s))
                 return None
             exact_r = (
                 yield [CountRequest("R", (self.query_window("R", window),), scalar=True)]
@@ -202,8 +135,7 @@ class UpJoin(MobileJoinAlgorithm):
                 yield [CountRequest("S", (self.query_window("S", window),), scalar=True)]
             )[0][0]
             if exact_r == 0 or exact_s == 0:
-                self.device.counts.windows_pruned += 1
-                rec("prune", "empty side", exact_r, exact_s)
+                self._prune_window(rec, exact_r, exact_s)
                 return None
             count_r, count_s, counts_exact = float(exact_r), float(exact_s), True
 
@@ -267,7 +199,7 @@ class UpJoin(MobileJoinAlgorithm):
         if c1 <= nlsj_cost:
             if state_r.uniform and state_s.uniform and self.fits_in_buffer(int_r, int_s):
                 rec("HBSJ", "", int_r, int_s)
-                return _Leaf(
+                return OperatorLeaf(
                     "hbsj", window, int_r, int_s,
                     counts_exact=counts_exact
                     and state_r.count_exact
@@ -286,7 +218,7 @@ class UpJoin(MobileJoinAlgorithm):
                 int_r,
                 int_s,
             )
-            return _Leaf("nlsj", window, int_r, int_s, outer=nlsj_outer)
+            return OperatorLeaf("nlsj", window, int_r, int_s, outer=nlsj_outer)
         return self._split_outcome(window, state_r, state_s, depth, rec)
 
     # ------------------------------------------------------------------ #
@@ -395,17 +327,17 @@ class UpJoin(MobileJoinAlgorithm):
         nlsj_cost: float,
         counts_exact: bool,
         rec,
-    ) -> _Leaf:
+    ) -> OperatorLeaf:
         if c1 <= nlsj_cost and self.fits_in_buffer(count_r, count_s):
             rec("HBSJ", "", count_r, count_s)
-            return _Leaf("hbsj", window, count_r, count_s, counts_exact=counts_exact)
+            return OperatorLeaf("hbsj", window, count_r, count_s, counts_exact=counts_exact)
         rec(
             "NLSJ",
             f"outer={nlsj_outer}, bucket={self.params.bucket_queries}",
             count_r,
             count_s,
         )
-        return _Leaf("nlsj", window, count_r, count_s, outer=nlsj_outer)
+        return OperatorLeaf("nlsj", window, count_r, count_s, outer=nlsj_outer)
 
     def _split_outcome(
         self, window: Rect, state_r: _SideState, state_s: _SideState, depth: int, rec
@@ -433,150 +365,3 @@ class UpJoin(MobileJoinAlgorithm):
             )
             for i, cell in enumerate(self.quadrants_of(window))
         ]
-
-    # ------------------------------------------------------------------ #
-    # depth-first reference driver
-    # ------------------------------------------------------------------ #
-
-    def _execute_recursive(self, task: _Task) -> None:
-        def rec(action, detail="", cr=None, cs=None):
-            self.record(task.depth, task.window, action, detail, cr, cs)
-
-        gen = self._window_steps(task, rec)
-        outcome = None
-        try:
-            requests = gen.send(None)
-            while True:
-                requests = gen.send(execute_count_requests(self.device, requests))
-        except StopIteration as stop:
-            outcome = stop.value
-        if outcome is None:
-            return
-        if isinstance(outcome, _Leaf):
-            self._run_leaf(outcome)
-            return
-        for child in outcome:
-            self._execute_recursive(child)
-
-    def _run_leaf(self, leaf: _Leaf) -> None:
-        """Execute one physical-operator leaf immediately (reference path).
-
-        When the counts are only estimates (``counts_exact=False``) they are
-        not forwarded to the operator, which will issue its own COUNT
-        queries -- the paper's "issue additional aggregate queries only when
-        accuracy is crucial, i.e. when applying the physical operators".
-        """
-        if leaf.op == "hbsj":
-            result = self.device.hbsj(
-                leaf.window,
-                self.predicate,
-                count_r=leaf.count_r if leaf.counts_exact else None,
-                count_s=leaf.count_s if leaf.counts_exact else None,
-            )
-        else:
-            result = self.device.nlsj(
-                leaf.window,
-                self.predicate,
-                outer=leaf.outer,
-                bucket=self.params.bucket_queries,
-            )
-        self._pairs.update(result.pairs)
-
-    # ------------------------------------------------------------------ #
-    # level-order frontier driver
-    # ------------------------------------------------------------------ #
-
-    def _execute_frontier(self, level: List[_Task]) -> None:
-        while level:
-            runs = [self._start_run(task) for task in level]
-            self._drive_level(runs)
-            leaves: List[_Leaf] = []
-            next_level: List[_Task] = []
-            for run in runs:
-                if isinstance(run.outcome, _Leaf):
-                    leaves.append(run.outcome)
-                elif run.outcome is not None:
-                    next_level.extend(run.outcome)
-            self._run_leaves_batched(leaves)
-            if self.params.trace:
-                for run in runs:
-                    self._trace.extend(run.events)
-            level = next_level
-
-    def _start_run(self, task: _Task) -> _Run:
-        run = _Run(task=task, gen=None)  # type: ignore[arg-type]
-
-        def rec(action, detail="", cr=None, cs=None):
-            self.record(
-                task.depth, task.window, action, detail, cr, cs, sink=run.events
-            )
-
-        run.gen = self._window_steps(task, rec)
-        self._advance_run(run, None)
-        return run
-
-    @staticmethod
-    def _advance_run(run: _Run, response) -> None:
-        try:
-            run.pending = run.gen.send(response)
-        except StopIteration as stop:
-            run.pending = None
-            run.outcome = stop.value
-
-    def _drive_level(self, runs: List[_Run]) -> None:
-        """Advance every window of the level in lock-step rounds.
-
-        Each round gathers the pending COUNT requests of all still-active
-        windows and ships them as one batched exchange per server -- the
-        same queries, in task order, that the depth-first driver issues one
-        window at a time.
-        """
-        pending = [run for run in runs if run.pending is not None]
-        while pending:
-            batches: dict = {}
-            for run in pending:
-                for req in run.pending:
-                    batches.setdefault(req.server, []).extend(req.rects)
-            answers = {
-                server: self.device.count_windows(server, rects) if rects else []
-                for server, rects in batches.items()
-            }
-            cursors = {server: 0 for server in batches}
-            still_pending: List[_Run] = []
-            for run in pending:
-                response: List[List[int]] = []
-                for req in run.pending:
-                    start = cursors[req.server]
-                    cursors[req.server] = start + len(req.rects)
-                    response.append(answers[req.server][start : start + len(req.rects)])
-                self._advance_run(run, response)
-                if run.pending is not None:
-                    still_pending.append(run)
-            pending = still_pending
-
-    def _run_leaves_batched(self, leaves: Sequence[_Leaf]) -> None:
-        """Execute the level's physical-operator leaves through the batch
-        operators: one batched download / probe / kernel pipeline per
-        operator kind instead of one device call per window."""
-        hbsj_leaves = [leaf for leaf in leaves if leaf.op == "hbsj"]
-        nlsj_leaves = [leaf for leaf in leaves if leaf.op == "nlsj"]
-        if hbsj_leaves:
-            requests = [
-                HBSJRequest(
-                    window=leaf.window,
-                    count_r=leaf.count_r if leaf.counts_exact else None,
-                    count_s=leaf.count_s if leaf.counts_exact else None,
-                )
-                for leaf in hbsj_leaves
-            ]
-            for result in self.device.hbsj_batch(requests, self.predicate):
-                self._pairs.update(result.pairs)
-        if nlsj_leaves:
-            requests = [
-                NLSJRequest(window=leaf.window, outer=leaf.outer)
-                for leaf in nlsj_leaves
-            ]
-            for result in self.device.nlsj_batch(
-                requests, self.predicate, bucket=self.params.bucket_queries
-            ):
-                self._pairs.update(result.pairs)

@@ -227,18 +227,17 @@ def hash_based_spatial_join_batch(
         # splitting window into one exchange per server.
         next_items: List[Tuple[int, Rect, Rect, Optional[int], Optional[int], int]] = []
         if splits:
-            all_quads: List[Rect] = []
-            for _, w, _ in splits:
-                all_quads.extend(w.quadrants())
+            split_quads = [w.quadrants() for _, w, _ in splits]
+            all_quads: List[Rect] = [q for quads in split_quads for q in quads]
             quad_counts_r = servers.r.count_batch(all_quads)
             quad_counts_s = servers.s.count_batch(
                 [q.expanded(margin) if margin > 0 else q for q in all_quads]
             )
             pos = 0
-            for idx, w, depth in splits:
+            for (idx, w, depth), quads in zip(splits, split_quads):
                 results[idx].recursive_splits += 1
                 results[idx].count_queries += 8
-                for quadrant in w.quadrants():
+                for quadrant in quads:
                     next_items.append(
                         (
                             idx,

@@ -230,23 +230,21 @@ def nested_loop_spatial_join_batch(
             radii_all.extend(radii)
         if not spans:
             continue
-        payloads = inner_server.range_batch(centers_all, radii_all)
+        # The probe responses arrive flat (one concatenated payload array in
+        # CSR probe order): each request's candidate block is a slice, not a
+        # per-probe vstack.
+        all_mbrs, all_oids, bounds = inner_server.range_batch_flat(
+            centers_all, radii_all
+        )
         for i, start, n in spans:
             outer_mbrs, outer_oids = downloads[i]
             result = results[i]
-            chunk = payloads[start : start + n]
-            counts = np.array([p[1].shape[0] for p in chunk], dtype=np.intp)
-            total = int(counts.sum())
+            lo, hi = int(bounds[start]), int(bounds[start + n])
+            counts = np.diff(bounds[start : start + n + 1])
             result.probes_sent += n
-            result.inner_objects_received += total
-            cand_mbrs = (
-                np.vstack([p[0] for p in chunk]) if total else np.empty((0, 4))
-            )
-            cand_oids = (
-                np.concatenate([p[1] for p in chunk])
-                if total
-                else np.empty(0, dtype=np.int64)
-            )
+            result.inner_objects_received += hi - lo
+            cand_mbrs = all_mbrs[lo:hi]
+            cand_oids = all_oids[lo:hi]
             probe_idx = np.repeat(np.arange(n, dtype=np.intp), counts)
             token = buffer.allocate(min(int(outer_oids.shape[0]), buffer.capacity))
             try:

@@ -241,7 +241,10 @@ class Rect:
         """The four quadrants of the rectangle (2 x 2 regular split).
 
         Ordering is row-major from the bottom-left: SW, SE, NW, NE.  All
-        partition-based algorithms in the paper use this decomposition.
+        partition-based algorithms in the paper use this decomposition;
+        the midpoint split lives in
+        :func:`~repro.geometry.rect_array.quadrant_cells`, whose array
+        form the batch kernels consume directly.
         """
         cx = (self.xmin + self.xmax) / 2.0
         cy = (self.ymin + self.ymax) / 2.0
@@ -253,22 +256,18 @@ class Rect:
         ]
 
     def subdivide(self, kx: int, ky: Optional[int] = None) -> List["Rect"]:
-        """Regular ``kx x ky`` grid decomposition (row-major from bottom-left)."""
-        if ky is None:
-            ky = kx
-        if kx < 1 or ky < 1:
-            raise ValueError("grid dimensions must be >= 1")
-        cells: List[Rect] = []
-        dx = self.width / kx
-        dy = self.height / ky
-        for j in range(ky):
-            y0 = self.ymin + j * dy
-            y1 = self.ymax if j == ky - 1 else self.ymin + (j + 1) * dy
-            for i in range(kx):
-                x0 = self.xmin + i * dx
-                x1 = self.xmax if i == kx - 1 else self.xmin + (i + 1) * dx
-                cells.append(Rect(x0, y0, x1, y1))
-        return cells
+        """Regular ``kx x ky`` grid decomposition (row-major from bottom-left).
+
+        The cell bounds come from the vectorised
+        :func:`~repro.geometry.rect_array.subdivide_window` kernel (one
+        edge-array computation instead of a per-cell coordinate loop); the
+        edges are bit-identical to the scalar formula, so grids frozen in
+        golden fixtures cannot drift.
+        """
+        from repro.geometry import rect_array  # deferred: avoids a cycle
+
+        cells = rect_array.subdivide_window(self, kx, ky)
+        return [Rect(x0, y0, x1, y1) for x0, y0, x1, y1 in cells.tolist()]
 
     def sample_subwindow(
         self, frac_w: float, frac_h: float, u: float, v: float

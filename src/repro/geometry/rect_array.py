@@ -10,7 +10,7 @@ loops, per the HPC guide's "vectorise the hot path" rule.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -175,6 +175,70 @@ def expand_index_ranges(
     offs = np.cumsum(counts) - counts
     idx = np.arange(total, dtype=np.intp) - np.repeat(offs, counts) + np.repeat(starts, counts)
     return row, idx
+
+
+def subdivide_window(window: Rect, kx: int, ky: Optional[int] = None) -> np.ndarray:
+    """Cell bounds of a regular ``kx x ky`` grid over ``window``.
+
+    Returns a ``(kx * ky, 4)`` MBR array, row-major from the bottom-left
+    cell.  The interior edges are computed as ``min + i * step`` (exact
+    outer edges), elementwise-identical to the scalar loop this kernel
+    replaced, so grid cells -- which become query windows -- are
+    bit-identical to the seed decomposition.  This is the bulk form behind
+    :meth:`repro.geometry.rect.Rect.subdivide`, shared by every
+    algorithm's repartitioning/grid step.
+    """
+    if ky is None:
+        ky = kx
+    if kx < 1 or ky < 1:
+        raise ValueError("grid dimensions must be >= 1")
+    if kx * ky <= 16:
+        # Tiny grids (the algorithms' default 2 x 2 repartitioning, the
+        # cost model's c4 estimate): scalar edge arithmetic beats the
+        # array-kernel setup cost.  Same formula, same floats.
+        dx, dy = window.width / kx, window.height / ky
+        xe = [window.xmin + i * dx for i in range(kx)] + [window.xmax]
+        ye = [window.ymin + j * dy for j in range(ky)] + [window.ymax]
+        return np.array(
+            [
+                (xe[i], ye[j], xe[i + 1], ye[j + 1])
+                for j in range(ky)
+                for i in range(kx)
+            ],
+            dtype=MBR_DTYPE,
+        )
+    xs = window.xmin + np.arange(kx + 1, dtype=MBR_DTYPE) * (window.width / kx)
+    ys = window.ymin + np.arange(ky + 1, dtype=MBR_DTYPE) * (window.height / ky)
+    xs[0], xs[kx] = window.xmin, window.xmax
+    ys[0], ys[ky] = window.ymin, window.ymax
+    out = np.empty((kx * ky, 4), dtype=MBR_DTYPE)
+    out[:, 0] = np.tile(xs[:-1], ky)
+    out[:, 1] = np.repeat(ys[:-1], kx)
+    out[:, 2] = np.tile(xs[1:], ky)
+    out[:, 3] = np.repeat(ys[1:], kx)
+    return out
+
+
+def quadrant_cells(window: Rect) -> np.ndarray:
+    """The 2 x 2 quadrant bounds of ``window`` as a ``(4, 4)`` MBR array.
+
+    Row-major from the bottom-left: SW, SE, NW, NE.  The split point is the
+    midpoint ``(min + max) / 2`` -- the formula the partition-based
+    algorithms have always used, which differs in the last float bit from
+    ``min + width / 2`` on some inputs, so it is kept separate from
+    :func:`subdivide_window` to preserve the frozen traces and figures.
+    """
+    cx = (window.xmin + window.xmax) / 2.0
+    cy = (window.ymin + window.ymax) / 2.0
+    return np.array(
+        [
+            (window.xmin, window.ymin, cx, cy),
+            (cx, window.ymin, window.xmax, cy),
+            (window.xmin, cy, cx, window.ymax),
+            (cx, cy, window.xmax, window.ymax),
+        ],
+        dtype=MBR_DTYPE,
+    )
 
 
 def clip_to_window(mbrs: np.ndarray, window: Rect) -> Tuple[np.ndarray, np.ndarray]:

@@ -155,6 +155,12 @@ class AggregateRTree:
         """Batched range queries (delegates to the R-tree descent)."""
         return self._tree.range_query_batch(centers, radii)
 
+    def range_query_batch_flat(
+        self, centers: Sequence[Point], radii: Sequence[float]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched range queries in CSR ``(bounds, oids)`` form."""
+        return self._tree.range_query_batch_flat(centers, radii)
+
     def total_mbr_area(self, window: Rect) -> float:
         """Total object-MBR area of objects intersecting the window.
 

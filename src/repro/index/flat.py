@@ -172,9 +172,23 @@ class FlatRTree:
 
     def range_batch(self, pts: np.ndarray, radii: np.ndarray) -> List[np.ndarray]:
         """Qualifying oids for every probe of ``(P, 2)`` centres / radii."""
+        bounds, oids = self.range_batch_flat(pts, radii)
+        return [oids[bounds[i] : bounds[i + 1]] for i in range(pts.shape[0])]
+
+    def range_batch_flat(
+        self, pts: np.ndarray, radii: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Qualifying oids for a probe batch, in CSR (offset-array) form.
+
+        Returns ``(bounds, oids)`` with ``len(bounds) == P + 1``: the oids
+        of probe ``i`` are ``oids[bounds[i]:bounds[i+1]]``.  The NLSJ
+        bucket-response assembly reads this form directly, so all probe
+        payloads of a batch come from slices of one array instead of a
+        per-probe materialisation loop.
+        """
         P = pts.shape[0]
         if self.size == 0 or P == 0:
-            return [np.empty(0, dtype=np.int64) for _ in range(P)]
+            return np.zeros(P + 1, dtype=np.intp), np.empty(0, dtype=np.int64)
         q_chunks: List[np.ndarray] = []
         e_chunks: List[np.ndarray] = []
         nodes = np.zeros(1, dtype=np.intp)
@@ -209,7 +223,7 @@ class FlatRTree:
             )
             nodes = self.child_ids[kid]
             qids = in_qids[row]
-        return self._group_by_query(q_chunks, e_chunks, P)
+        return self._flatten_by_query(q_chunks, e_chunks, P)
 
     # ------------------------------------------------------------------ #
     # internals
@@ -295,9 +309,3 @@ class FlatRTree:
         bounds = np.searchsorted(q_sorted, np.arange(n_queries + 1))
         return bounds, oids_sorted
 
-    def _group_by_query(
-        self, q_chunks: List[np.ndarray], e_chunks: List[np.ndarray], n_queries: int
-    ) -> List[np.ndarray]:
-        """Turn (query id, entry index) chunk pairs into per-query oid arrays."""
-        bounds, oids_sorted = self._flatten_by_query(q_chunks, e_chunks, n_queries)
-        return [oids_sorted[bounds[i] : bounds[i + 1]] for i in range(n_queries)]

@@ -332,6 +332,22 @@ class RTree:
         rads = np.asarray(radii, dtype=np.float64)
         return self.flat_view().range_batch(pts, rads)
 
+    def range_query_batch_flat(
+        self, centers: Sequence[Point], radii: Sequence[float]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched range queries in CSR form: ``(bounds, oids)``.
+
+        Probe ``i``'s oids are ``oids[bounds[i]:bounds[i+1]]`` -- the same
+        arrays :meth:`range_query_batch` would slice into per-probe lists.
+        """
+        if len(centers) != len(radii):
+            raise ValueError("radii must be parallel to centers")
+        if any(r < 0 for r in radii):
+            raise ValueError("epsilon must be non-negative")
+        pts = np.array([(p.x, p.y) for p in centers], dtype=np.float64).reshape(-1, 2)
+        rads = np.asarray(radii, dtype=np.float64)
+        return self.flat_view().range_batch_flat(pts, rads)
+
     def nearest_neighbors(self, center: Point, k: int = 1) -> List[Tuple[float, int]]:
         """The ``k`` nearest objects to ``center`` as ``(distance, oid)`` pairs.
 

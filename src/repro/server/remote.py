@@ -149,24 +149,44 @@ class RemoteServer(SpatialServerInterface):
 
         Unlike :meth:`bucket_range` this is *not* the bucket protocol: every
         probe is metered as its own query/response exchange, bit-identical
-        to a loop of :meth:`range` calls.
+        to a loop of :meth:`range` calls.  The per-probe payloads are
+        slices of the flat assembly of :meth:`range_batch_flat`.
         """
-        payloads = self._server.range_batch(centers, radii)
-        if payloads:
+        mbrs, oids, bounds = self.range_batch_flat(centers, radii)
+        return [
+            (mbrs[bounds[i] : bounds[i + 1]], oids[bounds[i] : bounds[i + 1]])
+            for i in range(len(centers))
+        ]
+
+    def range_batch_flat(
+        self, centers: Sequence[Point], radii: Sequence[float]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Issue many RANGE probes; responses assembled flat in one pass.
+
+        Returns ``(mbrs, oids, bounds)`` in CSR form, all probe payloads
+        concatenated in probe order (probe ``i`` owns rows
+        ``bounds[i]:bounds[i+1]``).  The ledger is bit-identical to a loop
+        of :meth:`range` calls: one uplink query record per probe and one
+        downlink object payload per probe, sized from the per-probe row
+        counts -- only the server-side evaluation and the response assembly
+        are batched.
+        """
+        mbrs, oids, bounds = self._server.range_batch_flat(centers, radii)
+        if len(centers):
             self.channel.send_uniform_batch(
                 RangeQuery(centers[0], float(radii[0])),
-                len(payloads),
+                len(centers),
                 direction="up",
                 label="range",
             )
             object_bytes = self.config.object_bytes
             self.channel.send_payload_batch(
                 MessageKind.OBJECTS,
-                [int(mbrs.shape[0]) * object_bytes for mbrs, _ in payloads],
+                [int(c) * object_bytes for c in np.diff(bounds).tolist()],
                 direction="down",
                 label="range-result",
             )
-        return payloads
+        return mbrs, oids, bounds
 
     def bucket_range(
         self,

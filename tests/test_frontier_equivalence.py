@@ -1,10 +1,11 @@
-"""Frontier-batched UpJoin == depth-first recursive UpJoin, bit for bit.
+"""Frontier-batched execution == depth-first recursive execution, bit for bit.
 
-The frontier executor may only change *when* exchanges are flushed, never
-what crosses the wire or what the planner decides.  This suite runs both
-execution modes over randomized workload families (uniform, clustered,
-skewed, empty-side, duplicate-heavy, degenerate zero-area rectangles) and
-asserts equality of
+The shared frontier engine (:mod:`repro.core.frontier`) may only change
+*when* exchanges are flushed, never what crosses the wire or what the
+planner decides.  This suite runs every frontier-driven algorithm (UpJoin,
+SrJoin and the MobiJoin baseline) in both execution modes over randomized
+workload families (uniform, clustered, skewed, empty-side, duplicate-heavy,
+degenerate zero-area rectangles) and asserts equality of
 
 * the result pair set,
 * the byte totals (overall and per server) and the tariff-weighted cost,
@@ -32,6 +33,9 @@ from repro.datasets.dataset import SpatialDataset
 from repro.datasets.railway import generate_railway_like
 from repro.datasets.synthetic import clustered, uniform
 from repro.geometry.rect import Rect
+
+#: The algorithms driven by the shared frontier engine.
+FRONTIER_ALGORITHMS = ("upjoin", "srjoin", "mobijoin")
 
 # --------------------------------------------------------------------------- #
 # workload families (all generators take a seed and return two datasets)
@@ -114,7 +118,8 @@ FAMILIES = {
 }
 
 CASES = [
-    pytest.param(family, seed, id=f"{family}-seed{seed}")
+    pytest.param(algorithm, family, seed, id=f"{algorithm}-{family}-seed{seed}")
+    for algorithm in FRONTIER_ALGORITHMS
     for family in FAMILIES
     for seed in (0, 1, 2)
 ]
@@ -140,20 +145,20 @@ def _trace_by_depth(result) -> Dict[int, List[tuple]]:
     return dict(grouped)
 
 
-def _run_mode(datasets, execution: str, **run_kwargs):
+def _run_mode(datasets, algorithm: str, execution: str, **run_kwargs):
     r, s = datasets
     session = AdHocJoinSession(r, s, buffer_size=run_kwargs.pop("buffer_size", 96))
     window = run_kwargs.pop("window", None) or Rect(0.0, 0.0, 1.0, 1.0).union(
         r.bounds() if len(r) else Rect(0, 0, 1, 1)
     )
     return session.run(
-        algorithm="upjoin", execution=execution, window=window, **run_kwargs
+        algorithm=algorithm, execution=execution, window=window, **run_kwargs
     )
 
 
-def _assert_modes_identical(datasets, **run_kwargs) -> None:
-    first = _run_mode(datasets, "recursive", **dict(run_kwargs))
-    second = _run_mode(datasets, "frontier", **dict(run_kwargs))
+def _assert_modes_identical(datasets, algorithm: str = "upjoin", **run_kwargs) -> None:
+    first = _run_mode(datasets, algorithm, "recursive", **dict(run_kwargs))
+    second = _run_mode(datasets, algorithm, "frontier", **dict(run_kwargs))
     assert first.sorted_pairs() == second.sorted_pairs()
     assert first.total_bytes == second.total_bytes
     assert first.bytes_r == second.bytes_r
@@ -175,32 +180,46 @@ def _assert_modes_identical(datasets, **run_kwargs) -> None:
 
 
 class TestFrontierEqualsRecursive:
-    @pytest.mark.parametrize("family,seed", CASES)
-    def test_distance_join(self, family, seed):
+    @pytest.mark.parametrize("algorithm,family,seed", CASES)
+    def test_distance_join(self, algorithm, family, seed):
         _assert_modes_identical(
-            FAMILIES[family](seed), kind="distance", epsilon=0.03, seed=seed
+            FAMILIES[family](seed),
+            algorithm=algorithm,
+            kind="distance",
+            epsilon=0.03,
+            seed=seed,
         )
 
-    @pytest.mark.parametrize("family,seed", CASES)
-    def test_intersection_join(self, family, seed):
-        _assert_modes_identical(FAMILIES[family](seed), kind="intersection", seed=seed)
+    @pytest.mark.parametrize("algorithm,family,seed", CASES)
+    def test_intersection_join(self, algorithm, family, seed):
+        _assert_modes_identical(
+            FAMILIES[family](seed), algorithm=algorithm, kind="intersection", seed=seed
+        )
 
+    @pytest.mark.parametrize("algorithm", FRONTIER_ALGORITHMS)
     @pytest.mark.parametrize("seed", [0, 1])
-    def test_small_buffer_forces_operator_recursion(self, seed):
+    def test_small_buffer_forces_operator_recursion(self, algorithm, seed):
         # A tiny buffer drives HBSJ into its internal quadrant recursion and
         # the NLSJ fallback; the batched executors must reproduce both.
         _assert_modes_identical(
             _duplicate_heavy_pair(seed),
+            algorithm=algorithm,
             kind="distance",
             epsilon=0.02,
             seed=seed,
             buffer_size=24,
         )
 
+    @pytest.mark.parametrize("algorithm", FRONTIER_ALGORITHMS)
     @pytest.mark.parametrize("family", ["clustered", "skewed"])
-    def test_bucket_queries(self, family):
+    def test_bucket_queries(self, algorithm, family):
         _assert_modes_identical(
-            FAMILIES[family](3), kind="distance", epsilon=0.04, seed=3, bucket_queries=True
+            FAMILIES[family](3),
+            algorithm=algorithm,
+            kind="distance",
+            epsilon=0.04,
+            seed=3,
+            bucket_queries=True,
         )
 
     @pytest.mark.parametrize("alpha", [0.15, 0.25, 0.35])
@@ -209,24 +228,54 @@ class TestFrontierEqualsRecursive:
             _clustered_pair(4), kind="distance", epsilon=0.03, seed=4, alpha=alpha
         )
 
-    def test_tiny_epsilon_distance(self):
+    @pytest.mark.parametrize("rho", [0.15, 0.30, 0.45])
+    def test_rho_sweep(self, rho):
+        # SrJoin's density threshold flips the similar/different decision
+        # and with it the leaf/recurse mix of every level.
+        _assert_modes_identical(
+            _clustered_pair(4),
+            algorithm="srjoin",
+            kind="distance",
+            epsilon=0.03,
+            seed=4,
+            rho=rho,
+        )
+
+    @pytest.mark.parametrize("grid_k", [2, 3, 4])
+    def test_mobijoin_grid_fanout(self, grid_k):
+        # MobiJoin's k x k repartitioning grid (2 k^2 COUNTs per split) must
+        # batch identically at every fan-out.
+        _assert_modes_identical(
+            _clustered_pair(5),
+            algorithm="mobijoin",
+            kind="distance",
+            epsilon=0.03,
+            seed=5,
+            grid_k=grid_k,
+        )
+
+    @pytest.mark.parametrize("algorithm", FRONTIER_ALGORITHMS)
+    def test_tiny_epsilon_distance(self, algorithm):
         # An epsilon far below the data resolution: every expanded S window
         # is essentially the cell itself, maximising prune opportunities.
         _assert_modes_identical(
-            _duplicate_heavy_pair(5), kind="distance", epsilon=1e-6, seed=5
+            _duplicate_heavy_pair(5), algorithm=algorithm, kind="distance",
+            epsilon=1e-6, seed=5,
         )
 
 
 class TestFrontierMatchesOracle:
     """The frontier must stay correct, not merely self-consistent."""
 
-    @pytest.mark.parametrize("family,seed", CASES)
-    def test_pairs_match_naive_download(self, family, seed):
+    @pytest.mark.parametrize("algorithm,family,seed", CASES)
+    def test_pairs_match_naive_download(self, algorithm, family, seed):
         datasets = FAMILIES[family](seed)
         frontier = _run_mode(
-            datasets, "frontier", kind="distance", epsilon=0.03, seed=seed
+            datasets, algorithm, "frontier", kind="distance", epsilon=0.03, seed=seed
         )
-        naive = _run_mode(datasets, "recursive", kind="distance", epsilon=0.03, seed=seed)
+        recursive = _run_mode(
+            datasets, algorithm, "recursive", kind="distance", epsilon=0.03, seed=seed
+        )
         r, s = datasets
         session = AdHocJoinSession(r, s, buffer_size=96, indexed=False)
         window = Rect(0.0, 0.0, 1.0, 1.0).union(
@@ -236,13 +285,17 @@ class TestFrontierMatchesOracle:
             algorithm="naive", kind="distance", epsilon=0.03, window=window
         )
         assert frontier.pairs == oracle.pairs
-        assert naive.pairs == oracle.pairs
+        assert recursive.pairs == oracle.pairs
 
 
 class TestFrontierDeterminism:
-    def test_repeated_frontier_runs_identical(self):
+    @pytest.mark.parametrize("algorithm", FRONTIER_ALGORITHMS)
+    def test_repeated_frontier_runs_identical(self, algorithm):
         runs = [
-            _run_mode(_clustered_pair(7), "frontier", kind="distance", epsilon=0.03, seed=7)
+            _run_mode(
+                _clustered_pair(7), algorithm, "frontier",
+                kind="distance", epsilon=0.03, seed=7,
+            )
             for _ in range(2)
         ]
         assert runs[0].sorted_pairs() == runs[1].sorted_pairs()
@@ -250,6 +303,7 @@ class TestFrontierDeterminism:
         assert [e.action for e in runs[0].trace] == [e.action for e in runs[1].trace]
         assert [e.detail for e in runs[0].trace] == [e.detail for e in runs[1].trace]
 
-    def test_unknown_execution_mode_rejected(self):
+    @pytest.mark.parametrize("algorithm", FRONTIER_ALGORITHMS)
+    def test_unknown_execution_mode_rejected(self, algorithm):
         with pytest.raises(ValueError):
-            _run_mode(_uniform_pair(0), "breadth-first", kind="intersection")
+            _run_mode(_uniform_pair(0), algorithm, "breadth-first", kind="intersection")

@@ -233,3 +233,46 @@ class TestDerived:
     def test_quadrants_preserve_area(self, r: Rect):
         quads = r.quadrants()
         assert sum(q.area for q in quads) == pytest.approx(r.area, abs=1e-9)
+
+
+class TestBulkGridKernels:
+    """The rect_array grid kernels behind subdivide/quadrants_of.
+
+    The frozen golden traces/figures record grid-cell windows, so both
+    kernels must stay *bit*-identical to the scalar formulas -- including
+    the vectorised large-grid branch of ``subdivide_window``, which no
+    planner default reaches.
+    """
+
+    @given(rects(), st.integers(min_value=1, max_value=11))
+    @settings(max_examples=60)
+    def test_subdivide_window_matches_scalar_formula(self, r: Rect, k: int):
+        import numpy as np
+
+        from repro.geometry import rect_array
+
+        # The reference: the seed's per-cell scalar loop, verbatim.
+        dx, dy = r.width / k, r.height / k
+        expected = []
+        for j in range(k):
+            y0 = r.ymin + j * dy
+            y1 = r.ymax if j == k - 1 else r.ymin + (j + 1) * dy
+            for i in range(k):
+                x0 = r.xmin + i * dx
+                x1 = r.xmax if i == k - 1 else r.xmin + (i + 1) * dx
+                expected.append((x0, y0, x1, y1))
+        # k up to 11 crosses the kernel's tiny-grid threshold (16 cells),
+        # so both the scalar and the vectorised branch are exercised.
+        cells = rect_array.subdivide_window(r, k)
+        assert np.array_equal(cells, np.array(expected))
+        assert [c.as_tuple() for c in r.subdivide(k)] == expected
+
+    @given(rects())
+    @settings(max_examples=60)
+    def test_quadrant_cells_matches_rect_quadrants(self, r: Rect):
+        import numpy as np
+
+        from repro.geometry import rect_array
+
+        scalar = np.array([q.as_tuple() for q in r.quadrants()])
+        assert np.array_equal(rect_array.quadrant_cells(r), scalar)

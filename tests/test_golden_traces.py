@@ -1,11 +1,13 @@
 """Golden recursion-trace regression tests.
 
 The byte totals frozen by ``test_golden_figures.py`` catch *aggregate*
-drift; this suite freezes UpJoin's full decision log -- every
-``record(depth, window, decision, ...)`` event -- for two small
-Figure 6(a) / Figure 7(b) configurations, so individual planner decisions
-(assume-uniform / probe confirmation / repartition / operator choice)
-cannot drift silently even when the byte totals happen to cancel out.
+drift; this suite freezes the full decision log -- every
+``record(depth, window, decision, ...)`` event -- of each frontier-driven
+algorithm (UpJoin, SrJoin, MobiJoin) for two small Figure 6(a) /
+Figure 7(b) configurations, so individual planner decisions
+(assume-uniform / probe confirmation / bitmap comparison / repartition /
+operator choice) cannot drift silently even when the byte totals happen to
+cancel out.
 
 Events are frozen grouped by recursion depth, the granularity at which the
 depth-first reference execution and the frontier executor are defined to
@@ -22,11 +24,17 @@ import json
 from pathlib import Path
 from typing import Dict, List
 
+import pytest
+
 from repro.api import AdHocJoinSession
 from repro.datasets.workloads import WorkloadSpec
 from repro.experiments.harness import build_datasets
 
 FIXTURE_PATH = Path(__file__).parent / "fixtures" / "golden_traces.json"
+
+#: The algorithms whose decision logs are frozen (everything driven by the
+#: shared frontier engine).
+ALGORITHMS = ("upjoin", "srjoin", "mobijoin")
 
 #: The two frozen configurations: the smallest and the largest cluster
 #: count of the golden fig6a/fig7b sweeps (alpha = 0.25, 800-object
@@ -39,11 +47,13 @@ CONFIGS = {
 }
 
 
-def _decision_log(execution: str, spec: WorkloadSpec) -> Dict[str, List[List[object]]]:
+def _decision_log(
+    algorithm: str, execution: str, spec: WorkloadSpec
+) -> Dict[str, List[List[object]]]:
     dataset_r, dataset_s = build_datasets(spec)
     session = AdHocJoinSession(dataset_r, dataset_s, buffer_size=spec.buffer_size)
     result = session.run(
-        algorithm="upjoin",
+        algorithm=algorithm,
         execution=execution,
         kind="distance",
         epsilon=spec.epsilon,
@@ -65,25 +75,32 @@ def _decision_log(execution: str, spec: WorkloadSpec) -> Dict[str, List[List[obj
     return grouped
 
 
-def _measure(execution: str = "frontier") -> Dict[str, Dict[str, List[List[object]]]]:
-    return {name: _decision_log(execution, spec) for name, spec in CONFIGS.items()}
+def _measure(
+    algorithm: str, execution: str = "frontier"
+) -> Dict[str, Dict[str, List[List[object]]]]:
+    return {
+        name: _decision_log(algorithm, execution, spec)
+        for name, spec in CONFIGS.items()
+    }
 
 
-def test_golden_traces_reproduce_fixture():
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_golden_traces_reproduce_fixture(algorithm):
     assert FIXTURE_PATH.exists(), (
         "golden trace fixture missing; regenerate with "
         "`PYTHONPATH=src python tests/test_golden_traces.py --regen`"
     )
-    golden = json.loads(FIXTURE_PATH.read_text())
+    golden = json.loads(FIXTURE_PATH.read_text())[algorithm]
     for execution in ("frontier", "recursive"):
-        measured = _measure(execution)
-        assert sorted(measured) == sorted(golden), execution
+        measured = _measure(algorithm, execution)
+        assert sorted(measured) == sorted(golden), (algorithm, execution)
         for figure, depths in golden.items():
             got = measured[figure]
-            assert sorted(got) == sorted(depths), (execution, figure)
+            assert sorted(got) == sorted(depths), (algorithm, execution, figure)
             for depth, events in depths.items():
                 assert got[depth] == events, (
-                    f"{execution}/{figure}: decision log drifted at depth {depth}"
+                    f"{algorithm}/{execution}/{figure}: "
+                    f"decision log drifted at depth {depth}"
                 )
 
 
@@ -93,5 +110,12 @@ if __name__ == "__main__":
     if "--regen" not in sys.argv:
         sys.exit("pass --regen to overwrite the golden trace fixture")
     FIXTURE_PATH.parent.mkdir(exist_ok=True)
-    FIXTURE_PATH.write_text(json.dumps(_measure(), indent=2, sort_keys=True) + "\n")
+    FIXTURE_PATH.write_text(
+        json.dumps(
+            {algorithm: _measure(algorithm) for algorithm in ALGORITHMS},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
     print(f"wrote {FIXTURE_PATH}")

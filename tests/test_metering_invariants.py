@@ -216,16 +216,46 @@ class TestBatchedExchangeLedger:
         assert self._ledger(servers_a.r.channel) == self._ledger(servers_b.r.channel)
         assert servers_a.r.channel.snapshot() == servers_b.r.channel.snapshot()
 
+    def test_range_batch_flat_decomposes_into_scalar_ledger(self):
+        """The flat probe-response assembly (one concatenated payload array,
+        one materialisation pass) must leave exactly the per-probe ledger of
+        a scalar probe loop and split into the same per-probe payloads."""
+        import numpy as np
+
+        from repro.geometry.point import Point
+
+        servers_a = self._fresh_pair()
+        servers_b = self._fresh_pair()
+        rng = np.random.default_rng(109)
+        centers = [Point(float(x), float(y)) for x, y in rng.uniform(0, 1, size=(13, 2))]
+        radii = rng.uniform(0.0, 0.12, size=13).tolist()
+        mbrs, oids, bounds = servers_a.s.range_batch_flat(centers, radii)
+        assert bounds[0] == 0 and int(bounds[-1]) == oids.shape[0] == mbrs.shape[0]
+        assert np.all(np.diff(bounds) >= 0)
+        looped = [servers_b.s.range(c, e) for c, e in zip(centers, radii)]
+        for i, (_, oids_b) in enumerate(looped):
+            chunk = oids[bounds[i] : bounds[i + 1]]
+            assert sorted(chunk.tolist()) == sorted(oids_b.tolist())
+        assert self._ledger(servers_a.s.channel) == self._ledger(servers_b.s.channel)
+        assert servers_a.s.channel.snapshot() == servers_b.s.channel.snapshot()
+        # Server-side statistics are per probe, exactly as in the loop.
+        assert (
+            servers_a.s.backing_server.stats.as_dict()
+            == servers_b.s.backing_server.stats.as_dict()
+        )
+
+    @pytest.mark.parametrize("algorithm", ["upjoin", "srjoin", "mobijoin"])
     @pytest.mark.parametrize("bucket", [False, True])
-    def test_frontier_upjoin_ledger_equals_recursive(self, bucket):
+    def test_frontier_ledger_equals_recursive(self, algorithm, bucket):
         """End to end: the frontier execution's batched quadrant/probe COUNT
         and operator exchanges leave the same per-query ledger on both
-        channels as the depth-first execution."""
+        channels as the depth-first execution, for every engine-driven
+        algorithm."""
         ledgers = {}
         for execution in ("recursive", "frontier"):
             session = _fresh_session()
             session.run(
-                algorithm="upjoin",
+                algorithm=algorithm,
                 execution=execution,
                 kind="distance",
                 epsilon=0.04,

@@ -165,3 +165,69 @@ class TestWifiLinkModel:
         # Channels replay concurrently: the makespan equals the slower one.
         slower = max(link.estimate_channel_time(a), link.estimate_channel_time(b))
         assert makespan == pytest.approx(slower)
+
+
+class TestClosedFormReplay:
+    """The NumPy closed-form replay must match the discrete-event kernel."""
+
+    @staticmethod
+    def _traffic_channels(seed: int):
+        import numpy as np
+
+        from repro.network.messages import MessageKind
+
+        cfg = NetworkConfig()
+        rng = np.random.default_rng(seed)
+        channels = []
+        for name in ("R", "S", "T"):
+            channel = Channel(cfg, name=name)
+            for _ in range(int(rng.integers(0, 40))):
+                kind = int(rng.integers(0, 4))
+                if kind == 0:
+                    channel.send_query(CountQuery(Rect(0, 0, 1, 1)))
+                    channel.send_response(ScalarResponse(1.0))
+                elif kind == 1:
+                    n = int(rng.integers(0, 300))
+                    channel.send_query(WindowQuery(Rect(0, 0, 1, 1)))
+                    channel.send_response(
+                        ObjectPayload(np.zeros((n, 4)), np.arange(n))
+                    )
+                elif kind == 2:
+                    # Bulk-accounted exchanges land on the same ledger.
+                    channel.send_uniform_batch(
+                        CountQuery(Rect(0, 0, 1, 1)), int(rng.integers(1, 20))
+                    )
+                else:
+                    channel.send_payload_batch(
+                        MessageKind.OBJECTS,
+                        [int(s) for s in rng.integers(0, 4000, size=7)],
+                        direction="down",
+                    )
+            channels.append(channel)
+        return channels
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_closed_form_matches_discrete_event(self, seed):
+        link = WifiLinkModel()
+        channels = self._traffic_channels(seed)
+        fast = link.simulate_channels(channels, method="closed-form")
+        reference = link.simulate_channels(channels, method="event")
+        assert fast == pytest.approx(reference, rel=1e-12, abs=1e-15)
+        # The closed form is the default.
+        assert link.simulate_channels(channels) == fast
+
+    def test_replay_time_matches_estimate(self):
+        # For a single channel the closed form, the discrete-event replay
+        # and the sequential estimate all describe the same total.
+        link = WifiLinkModel()
+        (channel,) = [self._traffic_channels(3)[0]]
+        assert link.replay_time(channel.log.records) == pytest.approx(
+            link.estimate_channel_time(channel), rel=1e-12
+        )
+
+    def test_empty_and_unknown_method(self):
+        link = WifiLinkModel()
+        assert link.simulate_channels([]) == 0.0
+        assert link.simulate_channels([], method="event") == 0.0
+        with pytest.raises(ValueError):
+            link.simulate_channels([], method="bogus")
