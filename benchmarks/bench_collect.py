@@ -1,0 +1,35 @@
+"""The perf-lane regression gate over the recorded speedup trajectory.
+
+``collect.py --check`` validates that every recorded speedup still meets
+the ``min_speedup`` threshold its own record states; this module exposes
+the same gate as a ``perf``-marked test so the perf lane
+(``pytest -m perf benchmarks/``) fails loudly when a recorded number
+drops below its floor.  The gate reads the records currently on disk.
+Note the collection order: this file sorts *before* the ``bench_*``
+records in the lane, so within one lane invocation it validates the
+records of the *previous* run; records refreshed later in the same
+invocation are gated on the next run (or immediately via
+``python benchmarks/collect.py --check``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.collect import RESULTS_DIR, _gated_speedups, check, collect
+
+
+@pytest.mark.perf
+def test_summary_regression_gate():
+    """Every recorded speedup must meet the threshold its record states."""
+    if not RESULTS_DIR.is_dir():
+        pytest.skip("no benchmark records collected yet")
+    summary = collect()
+    gated = [
+        triple
+        for name, record in summary["records"].items()
+        for triple in _gated_speedups(name, record)
+    ]
+    assert gated, "no record states a min_speedup threshold"
+    failures = check(summary)
+    assert not failures, "recorded speedups regressed below their stated floors:\n" + "\n".join(failures)

@@ -117,6 +117,7 @@ def test_frontier_speedup_record():
             "recursive_s": round(recursive_s, 4),
             "frontier_s": round(frontier_s, 4),
             "speedup": round(recursive_s / frontier_s, 2),
+            "min_speedup": MIN_SPEEDUP,
         }
 
     record = {

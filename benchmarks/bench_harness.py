@@ -198,6 +198,7 @@ def test_experiment_speedup_record():
         "cached_serial_s": round(cached_s, 4),
         "cached_parallel_s": round(parallel_s, 4),
         "speedup": round(cold_s / new_s, 2),
+        "min_speedup": 3.0,
     }
     results_dir = Path(__file__).parent / "results"
     results_dir.mkdir(exist_ok=True)

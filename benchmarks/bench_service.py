@@ -1,0 +1,170 @@
+"""Wall-clock record of the multi-tenant query broker.
+
+``test_service_speedup_record`` serves the same batch of 32 concurrent
+frontier queries two ways:
+
+* **sequential** -- the pre-broker serving model: one standalone
+  ``run_join`` per query, each building its own server stack and flushing
+  one COUNT exchange per (query, server, round); and
+* **broker** -- one :class:`~repro.service.broker.QueryBroker` batch: a
+  single cached server build shared through per-query statistics views,
+  all queries advancing in lock-step waves with the COUNT exchanges of
+  every in-flight query coalesced into one batched snapshot descent per
+  (server, round).
+
+The queries join one clustered dataset pair over 32 distinct sub-windows
+(distinct cache keys, so deduplication cannot short-circuit the batch).
+Both paths are asserted bit-identical (pairs and bytes, per query) before
+any timing is recorded; the result -- wall-clock speedup plus the measured
+COUNT-exchange reduction -- lands in
+``benchmarks/results/service_speedup.json`` (mergeable via
+``benchmarks/collect.py``, regression-gated via ``collect.py --check``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import List, Tuple
+
+import pytest
+
+from repro.core.join_types import JoinSpec
+from repro.core.planner import run_join
+from repro.datasets.synthetic import clustered
+from repro.geometry.rect import Rect
+from repro.service import JoinQuery, QueryBroker
+
+#: Dataset cardinality per side.
+BENCH_N = 3000
+#: Cluster count (high end of the paper's x-axis: deep recursions).
+BENCH_CLUSTERS = 64
+#: Small buffer: forces operator recursion, many COUNT rounds.
+BENCH_BUFFER = 100
+#: Concurrent queries served per batch.
+BENCH_QUERIES = 32
+BENCH_EPSILON = 0.005
+#: Required minimum speedup (the measured figure is recorded verbatim).
+MIN_SPEEDUP = 1.5
+
+
+def _workload() -> Tuple[List[JoinQuery], object, object]:
+    r = clustered(n=BENCH_N, clusters=BENCH_CLUSTERS, seed=0, name="R")
+    s = clustered(n=BENCH_N, clusters=BENCH_CLUSTERS, seed=1000, name="S")
+    spec = JoinSpec.distance(BENCH_EPSILON)
+    bounds = r.bounds().union(s.bounds())
+    # 32 overlapping sub-windows tiling the data space: distinct queries
+    # (distinct cache keys) that still hammer the same backing servers.
+    queries = []
+    grid = 8
+    for i in range(BENCH_QUERIES):
+        col, row = i % grid, i // grid
+        x0 = bounds.xmin + col * bounds.width / (grid + 1)
+        y0 = bounds.ymin + row * bounds.height / ((BENCH_QUERIES // grid) + 1)
+        window = Rect(
+            x0, y0, x0 + 0.4 * bounds.width, y0 + 0.6 * bounds.height
+        )
+        queries.append(
+            JoinQuery(r, s, spec, algorithm="srjoin",
+                      buffer_size=BENCH_BUFFER, window=window)
+        )
+    return queries, r, s
+
+
+def _snapshot(result) -> Tuple:
+    return (result.total_bytes, result.bytes_r, result.bytes_s, result.sorted_pairs())
+
+
+def _run_sequential(queries: List[JoinQuery]) -> Tuple[float, List[Tuple]]:
+    snapshots = []
+    t0 = time.perf_counter()
+    for query in queries:
+        result = run_join(
+            query.dataset_r,
+            query.dataset_s,
+            query.spec,
+            algorithm=query.algorithm,
+            buffer_size=query.buffer_size,
+            window=query.window,
+        )
+        snapshots.append(_snapshot(result))
+    return time.perf_counter() - t0, snapshots
+
+
+def _run_broker(queries: List[JoinQuery]) -> Tuple[float, List[Tuple], QueryBroker]:
+    t0 = time.perf_counter()
+    broker = QueryBroker(cache=False)
+    outcomes = broker.run_batch(queries)
+    elapsed = time.perf_counter() - t0
+    return elapsed, [_snapshot(o.result) for o in outcomes], broker
+
+
+@pytest.mark.perf
+def test_service_speedup_record():
+    """Record broker vs sequential wall time (and exchange counts) as JSON."""
+    queries, _r, _s = _workload()
+
+    # Warm both paths once (index snapshots, numpy caches), then take the
+    # best of three runs per mode.
+    _run_sequential(queries[:4])
+    _run_broker(queries[:4])
+    sequential_s = float("inf")
+    broker_s = float("inf")
+    sequential_snap = broker_snap = None
+    broker = None
+    for _ in range(3):
+        t, snap = _run_sequential(queries)
+        sequential_s = min(sequential_s, t)
+        sequential_snap = snap
+        t, snap, b = _run_broker(queries)
+        broker_s = min(broker_s, t)
+        broker_snap = snap
+        broker = b
+
+    # The serving contract: not a byte (or pair) of difference, per query.
+    assert sequential_snap == broker_snap
+
+    stats = broker.stats
+    assert stats.coalesced_exchanges < stats.standalone_exchanges, (
+        "broker did not coalesce any COUNT exchange"
+    )
+
+    record = {
+        "description": (
+            "32 concurrent frontier (srJoin) queries over one clustered "
+            "dataset pair: standalone run_join per query (own server "
+            "build, one COUNT exchange per query/server/round) vs one "
+            "QueryBroker batch (shared server build behind per-query "
+            "statistics views, COUNT exchanges coalesced per backing "
+            "server and round); best of 3 batches"
+        ),
+        "workload": {
+            "dataset_points": BENCH_N,
+            "clusters": BENCH_CLUSTERS,
+            "buffer_size": BENCH_BUFFER,
+            "epsilon": BENCH_EPSILON,
+            "queries": BENCH_QUERIES,
+        },
+        "sequential_s": round(sequential_s, 4),
+        "broker_s": round(broker_s, 4),
+        "speedup": round(sequential_s / broker_s, 2),
+        "min_speedup": MIN_SPEEDUP,
+        "count_exchanges": {
+            "sequential": stats.standalone_exchanges,
+            "broker": stats.coalesced_exchanges,
+            "reduction": round(
+                stats.standalone_exchanges / max(1, stats.coalesced_exchanges), 2
+            ),
+        },
+    }
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "service_speedup.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+
+    assert record["speedup"] >= MIN_SPEEDUP, (
+        f"broker speedup regressed: {record['speedup']}x "
+        f"(sequential {sequential_s:.3f}s vs broker {broker_s:.3f}s)"
+    )

@@ -124,6 +124,7 @@ def test_upjoin_speedup_record():
         "recursive_s": round(recursive_s, 4),
         "frontier_s": round(frontier_s, 4),
         "speedup": round(recursive_s / frontier_s, 2),
+        "min_speedup": 3.0,
     }
     results_dir = Path(__file__).parent / "results"
     results_dir.mkdir(exist_ok=True)

@@ -11,13 +11,21 @@ The summary maps each record name (the file stem) to its content plus the
 headline speedup(s) pulled to the top level for quick scanning; records
 that nest per-algorithm numbers (``frontier_speedup``) contribute one
 headline entry per algorithm.
+
+``--check`` additionally runs the regression gate: every recorded speedup
+that states its own ``min_speedup`` threshold (top-level or per
+algorithm/case) must still meet it, otherwise the script exits non-zero
+listing the offenders.  The same gate runs as a ``perf``-marked test
+(``benchmarks/bench_collect.py``), so ``pytest -m perf benchmarks/`` fails
+loudly when a recorded speedup drops below its stated floor.
 """
 
 from __future__ import annotations
 
 import json
+import sys
 from pathlib import Path
-from typing import Dict
+from typing import Dict, List, Tuple
 
 RESULTS_DIR = Path(__file__).parent / "results"
 SUMMARY_PATH = RESULTS_DIR / "summary.json"
@@ -60,7 +68,50 @@ def collect(results_dir: Path = RESULTS_DIR) -> Dict:
     }
 
 
-def main() -> None:
+def _gated_speedups(name: str, record: Dict) -> List[Tuple[str, float, float]]:
+    """All ``(label, speedup, min_speedup)`` triples a record states."""
+    out: List[Tuple[str, float, float]] = []
+    if isinstance(record.get("speedup"), (int, float)) and isinstance(
+        record.get("min_speedup"), (int, float)
+    ):
+        out.append((name, float(record["speedup"]), float(record["min_speedup"])))
+    for group_key in ("algorithms", "cases"):
+        group = record.get(group_key)
+        if isinstance(group, dict):
+            for label, numbers in group.items():
+                if (
+                    isinstance(numbers, dict)
+                    and isinstance(numbers.get("speedup"), (int, float))
+                    and isinstance(numbers.get("min_speedup"), (int, float))
+                ):
+                    out.append(
+                        (
+                            f"{name}:{label}",
+                            float(numbers["speedup"]),
+                            float(numbers["min_speedup"]),
+                        )
+                    )
+    return out
+
+
+def check(summary: Dict) -> List[str]:
+    """The regression gate: recorded speedups below their stated floor.
+
+    Returns one human-readable line per violation (empty = all good).
+    Records that state no ``min_speedup`` are informational only.
+    """
+    failures: List[str] = []
+    for name, record in summary["records"].items():
+        for label, speedup, floor in _gated_speedups(name, record):
+            if speedup < floor:
+                failures.append(
+                    f"{label}: recorded speedup {speedup}x is below its "
+                    f"stated threshold {floor}x"
+                )
+    return failures
+
+
+def main(argv: List[str]) -> int:
     if not RESULTS_DIR.is_dir():
         raise SystemExit(f"no results directory at {RESULTS_DIR}")
     summary = collect()
@@ -69,7 +120,16 @@ def main() -> None:
     print(f"wrote {SUMMARY_PATH} ({len(summary['records'])} records: {names})")
     for label, x in summary["speedups"].items():
         print(f"  {label}: {x}x")
+    if "--check" in argv:
+        failures = check(summary)
+        if failures:
+            print("regression gate FAILED:")
+            for line in failures:
+                print(f"  {line}")
+            return 1
+        print("regression gate ok (all stated thresholds met)")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main(sys.argv[1:]))

@@ -1,19 +1,25 @@
 """The top-level public API.
 
-Two entry points:
+Three entry points:
 
 * :func:`quick_join` -- one call from two datasets to a measured
   :class:`~repro.core.result.JoinResult`.
 * :class:`AdHocJoinSession` -- a reusable session that keeps the servers
   (and their R-trees) alive across several runs, so different algorithms or
   parameters can be compared on identical data without rebuilding indexes.
+* :func:`batch_join` -- many queries at once through the multi-tenant
+  :class:`~repro.service.broker.QueryBroker`: per-query plan selection,
+  result-cache deduplication, and cross-query COUNT coalescing on the
+  shared frontier engine, with every result bit-identical to a standalone
+  run.
 
-Both wrap :mod:`repro.core.planner`.
+All wrap :mod:`repro.core.planner` (and, for batches,
+:mod:`repro.service`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.base import AlgorithmParameters
 from repro.core.join_types import JoinSpec
@@ -24,8 +30,19 @@ from repro.device.pda import MobileDevice
 from repro.geometry.rect import Rect
 from repro.network.config import NetworkConfig
 from repro.server.server import SpatialServer
+from repro.service.broker import QueryBroker
+from repro.service.query import JoinQuery, QueryOutcome
 
-__all__ = ["AdHocJoinSession", "JoinOutcome", "available_algorithms", "quick_join"]
+__all__ = [
+    "AdHocJoinSession",
+    "JoinOutcome",
+    "JoinQuery",
+    "QueryBroker",
+    "QueryOutcome",
+    "available_algorithms",
+    "batch_join",
+    "quick_join",
+]
 
 #: Public alias: the outcome type returned by every join execution.
 JoinOutcome = JoinResult
@@ -103,6 +120,36 @@ def quick_join(
         window=window,
         seed=seed,
     )
+
+
+def batch_join(
+    queries: Sequence[JoinQuery],
+    config: Optional[NetworkConfig] = None,
+    max_wave: Optional[int] = None,
+    broker: Optional[QueryBroker] = None,
+) -> List[QueryOutcome]:
+    """Serve a batch of join queries through one query broker.
+
+    Each query is planned (cheapest predicted algorithm unless the query
+    names one), deduplicated against identical queries, and executed in
+    deterministic waves with the COUNT exchanges of co-scheduled queries
+    coalesced per server.  Outcomes arrive in submission order; each
+    result is bit-identical to running the same query standalone through
+    :func:`quick_join` / :func:`~repro.core.planner.run_join`.
+
+    Pass a ``broker`` to reuse its server builds, result cache and
+    calibration state across several batches.  A passed broker carries its
+    own configuration, so combining it with ``config``/``max_wave`` is an
+    error rather than a silent override.
+    """
+    if broker is not None:
+        if config is not None or max_wave is not None:
+            raise ValueError(
+                "pass either a pre-built broker or config/max_wave, not both"
+            )
+        return broker.run_batch(queries)
+    kwargs = {} if max_wave is None else {"max_wave": max_wave}
+    return QueryBroker(config=config, **kwargs).run_batch(queries)
 
 
 class AdHocJoinSession:

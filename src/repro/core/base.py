@@ -110,6 +110,22 @@ class MobileJoinAlgorithm(ABC):
         self._execute(window, count_r, count_s, depth=0)
         return self._assemble(window)
 
+    def run_cooperative(self, window: Rect):
+        """Generator form of :meth:`run` for the query broker's wave driver.
+
+        The protocol: yield ``{server name: [query windows]}`` COUNT rounds
+        and receive ``{server name: [counts]}``, returning the
+        :class:`~repro.core.result.JoinResult` via ``StopIteration``.  This
+        base implementation never yields -- algorithms without a
+        coalescible execution simply run standalone (on their own metered
+        stack) when the driver first advances the generator.
+        :class:`~repro.core.frontier.FrontierAlgorithm` overrides it to
+        expose the engine's per-round COUNT batches for cross-query
+        coalescing.
+        """
+        return self.run(window)
+        yield  # pragma: no cover -- marks this function as a generator
+
     # ------------------------------------------------------------------ #
     # to be provided by each algorithm
     # ------------------------------------------------------------------ #

@@ -43,15 +43,23 @@ algorithm-specific; the engine only requires them to expose ``window`` and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator, List, Optional, Sequence
+from typing import Dict, Generator, List, Optional, Sequence
 
 from repro.core.base import MobileJoinAlgorithm
+from repro.core.result import JoinResult
 from repro.core.stats import CountRequest, execute_count_requests
 from repro.device.hbsj import HBSJRequest
 from repro.device.nlsj import NLSJRequest
 from repro.geometry.rect import Rect
 
 __all__ = ["FrontierAlgorithm", "OperatorLeaf"]
+
+#: The protocol spoken by the cooperative drivers: yield one
+#: ``{server name: [query windows]}`` COUNT round (margins pre-applied) and
+#: receive ``{server name: [counts]}`` back.  The standalone driver answers
+#: each round through this query's own device; the query broker coalesces
+#: the rounds of all in-flight queries into one exchange per backing server.
+CountRounds = Generator[Dict[str, List[Rect]], Dict[str, List[int]], None]
 
 
 @dataclass(frozen=True)
@@ -210,9 +218,38 @@ class FrontierAlgorithm(MobileJoinAlgorithm):
     # ------------------------------------------------------------------ #
 
     def _execute_frontier(self, level: List) -> None:
+        gen = self._frontier_levels(level)
+        try:
+            batches = gen.send(None)
+            while True:
+                batches = gen.send(self._exchange_counts(batches))
+        except StopIteration:
+            pass
+
+    def _exchange_counts(
+        self, batches: Dict[str, List[Rect]]
+    ) -> Dict[str, List[int]]:
+        """Answer one COUNT round through this query's own device --
+        one batched exchange per server, exactly as ``_drive_level`` always
+        flushed it."""
+        return {
+            server: self.device.count_windows(server, rects) if rects else []
+            for server, rects in batches.items()
+        }
+
+    def _frontier_levels(self, level: List) -> CountRounds:
+        """The level-order execution as a generator over COUNT rounds.
+
+        Everything except the COUNT exchanges happens inside the generator
+        (leaf operators run through the device's batch executors between
+        levels, traces splice in window order); only the per-round batched
+        COUNTs are yielded outward, so an external driver -- the query
+        broker's wave executor -- can merge them with the rounds of other
+        in-flight queries before answering.
+        """
         while level:
             runs = [self._start_run(task) for task in level]
-            self._drive_level(runs)
+            yield from self._level_rounds(runs)
             leaves: List[OperatorLeaf] = []
             next_level: List = []
             for run in runs:
@@ -240,24 +277,25 @@ class FrontierAlgorithm(MobileJoinAlgorithm):
             run.pending = None
             run.outcome = stop.value
 
-    def _drive_level(self, runs: List[_Run]) -> None:
+    def _level_rounds(self, runs: List[_Run]) -> CountRounds:
         """Advance every window of the level in lock-step rounds.
 
         Each round gathers the pending COUNT requests of all still-active
-        windows and ships them as one batched exchange per server -- the
-        same queries, in task order, that the depth-first driver issues one
-        window at a time.
+        windows into one ``{server: [windows]}`` batch -- the same queries,
+        in task order, that the depth-first driver issues one window at a
+        time -- and yields it to the caller, which executes the exchange
+        and sends the counts back.  The standalone driver answers through
+        this query's own device (:meth:`_exchange_counts`); the broker's
+        wave driver coalesces the batches of every in-flight query that
+        targets the same server before answering.
         """
         pending = [run for run in runs if run.pending is not None]
         while pending:
-            batches: dict = {}
+            batches: Dict[str, List[Rect]] = {}
             for run in pending:
                 for req in run.pending:
                     batches.setdefault(req.server, []).extend(req.rects)
-            answers = {
-                server: self.device.count_windows(server, rects) if rects else []
-                for server, rects in batches.items()
-            }
+            answers = yield batches
             cursors = {server: 0 for server in batches}
             still_pending: List[_Run] = []
             for run in pending:
@@ -270,6 +308,45 @@ class FrontierAlgorithm(MobileJoinAlgorithm):
                 if run.pending is not None:
                     still_pending.append(run)
             pending = still_pending
+
+    # ------------------------------------------------------------------ #
+    # cooperative driver (the query broker's wave executor)
+    # ------------------------------------------------------------------ #
+
+    def run_cooperative(
+        self, window: Rect
+    ) -> Generator[Dict[str, List[Rect]], Dict[str, List[int]], JoinResult]:
+        """Generator form of :meth:`run` for the multi-query wave driver.
+
+        Yields ``{server name: [query windows]}`` COUNT rounds (margins
+        already applied) and receives ``{server name: [counts]}`` per
+        round; all other traffic -- operator leaves, window and range
+        downloads -- flows through this query's own metered device
+        directly, inside the generator.  The caller decides how each COUNT
+        round is evaluated, but must attribute the exchange to this
+        query's ledger exactly as the device would (the broker uses the
+        ``*_prefetched`` accounting endpoints), keeping pairs, bytes,
+        statistics and decision traces bit-identical to a standalone
+        :meth:`run`.
+
+        ``execution="recursive"`` queries cannot share exchanges; the
+        generator then runs the join standalone on the first advance and
+        returns its result without yielding.
+        """
+        if self.execution != "frontier":
+            return self.run(window)
+        self._pairs.clear()
+        self._trace.clear()
+        answers = yield {
+            "R": [self.query_window("R", window)],
+            "S": [self.query_window("S", window)],
+        }
+        count_r = int(answers["R"][0])
+        count_s = int(answers["S"][0])
+        self.record(0, window, "start", f"{self.name}", count_r, count_s)
+        root = self._root_task(window, count_r, count_s, depth=0)
+        yield from self._frontier_levels([root])
+        return self._assemble(window)
 
     def _run_leaves_batched(self, leaves: Sequence[OperatorLeaf]) -> None:
         """Execute the level's physical-operator leaves through the batch

@@ -11,9 +11,11 @@ rebuilding R-trees for every algorithm).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.core.base import AlgorithmParameters, MobileJoinAlgorithm
+from repro.core.costmodel import CalibratedCostModel
 from repro.core.join_types import JoinSpec
 from repro.core.mobijoin import MobiJoin
 from repro.core.naive import FixedGridJoin, NaiveDownloadJoin
@@ -28,7 +30,15 @@ from repro.network.config import NetworkConfig
 from repro.server.remote import ServerPair
 from repro.server.server import SpatialServer
 
-__all__ = ["ALGORITHMS", "build_algorithm", "build_session_stack", "run_join"]
+__all__ = [
+    "ALGORITHMS",
+    "SELECTABLE_ALGORITHMS",
+    "PlanDecision",
+    "build_algorithm",
+    "build_session_stack",
+    "run_join",
+    "select_algorithm",
+]
 
 #: Registry of algorithm names accepted by the public API.
 ALGORITHMS: Dict[str, type] = {
@@ -39,6 +49,71 @@ ALGORITHMS: Dict[str, type] = {
     "naive": NaiveDownloadJoin,
     "fixedgrid": FixedGridJoin,
 }
+
+#: Algorithms eligible for *automatic* selection.  SemiJoin assumes
+#: cooperating, index-publishing servers (the paper notes it "cannot be
+#: applied in our problem"); it runs only when a query names it explicitly.
+SELECTABLE_ALGORITHMS: Tuple[str, ...] = (
+    "mobijoin",
+    "upjoin",
+    "srjoin",
+    "naive",
+    "fixedgrid",
+)
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """The outcome of algorithm selection for one query.
+
+    ``predicted`` maps every candidate algorithm to its calibrated
+    transfer-cost estimate; ``algorithm`` is the one that will run.  When
+    the query named an algorithm explicitly, ``overridden`` is True and
+    ``predicted`` still reports what the model would have thought -- the
+    broker's ``explain()`` surfaces both so predicted vs. chosen plans stay
+    inspectable.
+    """
+
+    algorithm: str
+    predicted: Dict[str, float]
+    overridden: bool = False
+
+    def cheapest(self) -> str:
+        """The model's own choice (ties resolved alphabetically)."""
+        return min(self.predicted, key=lambda k: (self.predicted[k], k))
+
+
+def select_algorithm(
+    model: CalibratedCostModel,
+    spec: JoinSpec,
+    window: Rect,
+    n_r: int,
+    n_s: int,
+    algorithm: Optional[str] = None,
+    candidates: Optional[Sequence[str]] = None,
+) -> PlanDecision:
+    """Pick the algorithm for one query, or honour an explicit override.
+
+    ``candidates`` defaults to :data:`SELECTABLE_ALGORITHMS`; an explicit
+    ``algorithm`` (any registry name) short-circuits the choice but the
+    prediction set is still computed and reported, so callers can compare
+    the override against the model's preference.
+    """
+    pool = tuple(candidates) if candidates is not None else SELECTABLE_ALGORITHMS
+    for name in pool:
+        if name.lower() not in ALGORITHMS:
+            raise ValueError(f"unknown candidate algorithm {name!r}")
+    predicted = model.predict(spec, window, n_r, n_s)
+    predicted = {name: predicted[name.lower()] for name in pool}
+    if algorithm is not None:
+        key = algorithm.lower()
+        if key not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}"
+            )
+        return PlanDecision(algorithm=key, predicted=predicted, overridden=True)
+    chosen = min(predicted, key=lambda k: (predicted[k], k))
+    return PlanDecision(algorithm=chosen.lower(), predicted=predicted, overridden=False)
 
 
 def build_session_stack(

@@ -106,6 +106,20 @@ class MobileDevice:
         server = self.servers.r if server_name.upper() == "R" else self.servers.s
         return server.count_batch(windows)
 
+    def count_windows_prefetched(
+        self, server_name: str, windows: Sequence[Rect], values: Sequence[int]
+    ) -> List[int]:
+        """Attribute a COUNT batch answered by a coalesced cross-query exchange.
+
+        The query broker evaluates the windows of many queries against one
+        backing server in a single snapshot descent; each query's share is
+        booked here so operator counters, server statistics and channel
+        ledgers match a :meth:`count_windows` call exactly.
+        """
+        self.counts.count_queries += len(windows)
+        server = self.servers.r if server_name.upper() == "R" else self.servers.s
+        return server.count_batch_prefetched(windows, values)
+
     def count_both(self, window: Rect) -> Tuple[int, int]:
         """COUNT the window on both servers; returns ``(|Rw|, |Sw|)``."""
         return self.count_window("R", window), self.count_window("S", window)
@@ -191,7 +205,14 @@ class MobileDevice:
         return self.servers.total_cost()
 
     def estimated_response_time(self) -> float:
-        """Estimated wall-clock seconds to replay all traffic over the link."""
+        """Estimated wall-clock seconds to replay all traffic over the link.
+
+        Both channel logs are reduced with the link model's NumPy closed
+        form (a handful of array reductions per channel, regardless of log
+        length); the per-record scalar walk survives as
+        ``link.estimate_channel_time(channel, method="scalar")`` and the
+        wifi tests pin the two within float tolerance.
+        """
         return self.link.estimate_channel_time(
             self.servers.r.channel
         ) + self.link.estimate_channel_time(self.servers.s.channel)

@@ -145,6 +145,12 @@ class AggregateRTree:
         """Batched window queries (delegates to the R-tree descent)."""
         return self._tree.window_query_batch(windows)
 
+    def window_query_batch_flat(
+        self, windows: Sequence[Rect]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched window queries in CSR ``(bounds, oids)`` form."""
+        return self._tree.window_query_batch_flat(windows)
+
     def range_query(self, center: Point, epsilon: float) -> List[int]:
         """Object ids within ``epsilon`` of ``center`` (delegates to the R-tree)."""
         return self._tree.range_query(center, epsilon)

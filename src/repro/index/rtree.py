@@ -315,6 +315,20 @@ class RTree:
         wins = rect_array.rects_to_array(list(windows))
         return self.flat_view().window_batch(wins)
 
+    def window_query_batch_flat(
+        self, windows: Sequence[Rect]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched window queries in CSR form: ``(bounds, oids)``.
+
+        Window ``i``'s oids are ``oids[bounds[i]:bounds[i+1]]`` -- the same
+        arrays :meth:`window_query_batch` would slice into per-window
+        lists.  Consumers that concatenate per-window payloads anyway (the
+        servers' flat window endpoint, the SemiJoin relay) read this form
+        directly and skip the per-window materialisation.
+        """
+        wins = rect_array.rects_to_array(list(windows))
+        return self.flat_view().window_batch_flat(wins)
+
     def count_window_batch(self, windows: Sequence[Rect]) -> List[int]:
         """Result sizes of many window queries (aggregate-style shortcut)."""
         wins = rect_array.rects_to_array(list(windows))

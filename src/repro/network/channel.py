@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.network.config import NetworkConfig
 from repro.network.messages import Message, MessageKind
@@ -61,6 +61,27 @@ class TrafficLog:
         for rec in self.records:
             out[rec.kind] += rec.wire_bytes
         return dict(out)
+
+    def fingerprint(self) -> Tuple[Tuple, ...]:
+        """A hashable, order-sensitive digest of the per-message ledger.
+
+        Two logs fingerprint equal iff they hold the same records in the
+        same order.  The query-service equivalence suite uses this to pin a
+        broker-coalesced query's wire traffic record for record against its
+        standalone reference run (cross-query coalescing may share the
+        physical evaluation, never the attributed ledger).
+        """
+        return tuple(
+            (
+                rec.direction,
+                rec.kind.value,
+                rec.payload_bytes,
+                rec.wire_bytes,
+                rec.packets,
+                rec.label,
+            )
+            for rec in self.records
+        )
 
     def clear(self) -> None:
         self.records.clear()
@@ -208,6 +229,23 @@ class Channel:
             self.downlink_packets += total_packets
             self.messages_down += n
         return total_wire
+
+    def ledger_fingerprint(self) -> Tuple:
+        """Counters plus the per-message log digest, as one hashable value.
+
+        Equality means the two channels carried bit-identical traffic:
+        same byte/packet/message totals *and* the same record sequence.
+        """
+        return (
+            self.name,
+            self.uplink_bytes,
+            self.downlink_bytes,
+            self.uplink_packets,
+            self.downlink_packets,
+            self.messages_up,
+            self.messages_down,
+            self.log.fingerprint(),
+        )
 
     def snapshot(self) -> Dict[str, float]:
         """A summary dictionary (used by results and reports)."""

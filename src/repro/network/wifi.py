@@ -84,14 +84,24 @@ class WifiLinkModel:
             delay += self.server_latency_s
         return delay
 
-    def estimate_channel_time(self, channel: Channel) -> float:
+    def estimate_channel_time(self, channel: Channel, method: str = "closed-form") -> float:
         """Estimated wall-clock seconds to replay all traffic of a channel.
 
         Requests and responses are replayed sequentially (the device blocks
         on each response, as the prototype does), so the estimate is simply
         the sum of per-message transfer times plus one server latency per
-        uplink message.
+        uplink message.  ``method="closed-form"`` (default) evaluates that
+        sum with NumPy over the whole log at once (:meth:`replay_time`,
+        three array reductions); ``method="scalar"`` walks the records one
+        by one -- the reference the fast path is pinned against (equal
+        within float tolerance; only the summation order differs).
         """
+        if method == "closed-form":
+            return self.replay_time(channel.log.records)
+        if method != "scalar":
+            raise ValueError(
+                f"unknown method {method!r}; expected 'closed-form' or 'scalar'"
+            )
         return sum(self.record_delay(rec) for rec in channel.log.records)
 
     # ------------------------------------------------------------------ #

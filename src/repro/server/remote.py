@@ -97,13 +97,32 @@ class RemoteServer(SpatialServerInterface):
         """Issue many WINDOW queries, evaluated server-side in one descent.
 
         Each window is accounted as its own query/response exchange, so the
-        wire bytes are bit-identical to a loop of :meth:`window` calls; only
-        the server-side evaluation and the ledger bookkeeping are batched
-        (query payloads are fixed-size strings, so one packetisation covers
-        every request of the batch).
+        wire bytes are bit-identical to a loop of :meth:`window` calls; the
+        per-window payloads are slices of the flat assembly of
+        :meth:`window_batch_flat`.
         """
         windows = list(windows)
-        payloads = self._server.window_batch(windows)
+        mbrs, oids, bounds = self.window_batch_flat(windows)
+        return [
+            (mbrs[bounds[i] : bounds[i + 1]], oids[bounds[i] : bounds[i + 1]])
+            for i in range(len(windows))
+        ]
+
+    def window_batch_flat(
+        self, windows: Sequence[Rect]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Issue many WINDOW queries; responses assembled flat in one pass.
+
+        Returns ``(mbrs, oids, bounds)`` in CSR form, all window payloads
+        concatenated in window order (window ``i`` owns rows
+        ``bounds[i]:bounds[i+1]``).  The ledger is bit-identical to a loop
+        of :meth:`window` calls: one uplink query record per window and one
+        downlink object payload per window, sized from the per-window row
+        counts -- only the server-side evaluation and the response assembly
+        are batched.
+        """
+        windows = list(windows)
+        mbrs, oids, bounds = self._server.window_batch_flat(windows)
         if windows:
             self.channel.send_uniform_batch(
                 WindowQuery(windows[0]), len(windows), direction="up", label="window"
@@ -111,11 +130,11 @@ class RemoteServer(SpatialServerInterface):
             object_bytes = self.config.object_bytes
             self.channel.send_payload_batch(
                 MessageKind.OBJECTS,
-                [int(mbrs.shape[0]) * object_bytes for mbrs, _ in payloads],
+                [int(c) * object_bytes for c in np.diff(bounds).tolist()],
                 direction="down",
                 label="window-result",
             )
-        return payloads
+        return mbrs, oids, bounds
 
     def count_batch(self, windows: Sequence[Rect]) -> List[int]:
         """Issue many COUNT queries, evaluated server-side in one descent.
@@ -124,6 +143,32 @@ class RemoteServer(SpatialServerInterface):
         """
         windows = list(windows)
         values = self._server.count_batch(windows)
+        self._account_count_batch(windows)
+        return values
+
+    def count_batch_prefetched(
+        self, windows: Sequence[Rect], values: Sequence[int]
+    ) -> List[int]:
+        """Attribute a COUNT batch answered by a coalesced exchange.
+
+        The query broker's wave driver evaluates the COUNT windows of every
+        in-flight query that targets the same backing server in one
+        snapshot descent, then attributes each query's share back to its
+        own connection through this method.  The per-query ledger --
+        backing-server statistics, traffic records, byte totals -- is
+        exactly what :meth:`count_batch` over the same windows would have
+        produced; only the evaluation was shared.
+        """
+        windows = list(windows)
+        values = [int(v) for v in values]
+        if len(values) != len(windows):
+            raise ValueError("values must be parallel to windows")
+        self._server.stats.count_queries += len(windows)
+        self._account_count_batch(windows)
+        return values
+
+    def _account_count_batch(self, windows: List[Rect]) -> None:
+        """The shared ledger write of one batched COUNT exchange."""
         if windows:
             self.channel.send_uniform_batch(
                 CountQuery(windows[0]), len(windows), direction="up", label="count"
@@ -134,7 +179,6 @@ class RemoteServer(SpatialServerInterface):
                 direction="down",
                 label="count-result",
             )
-        return values
 
     def range(self, center: Point, epsilon: float) -> Tuple[np.ndarray, np.ndarray]:
         self.channel.send_query(RangeQuery(center, epsilon), label="range")
@@ -283,6 +327,32 @@ class IndexedRemoteServer(RemoteServer):
         fall in several windows are returned once (the server deduplicates
         before shipping, as the original algorithm does).
         """
+        return self._relay_windows(windows, flat=False)
+
+    def upload_windows_and_collect_flat(
+        self, windows: Sequence[Rect]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Flat-assembly form of :meth:`upload_windows_and_collect`.
+
+        Ships the same query and response payloads (the ledger is
+        byte-identical); the server side reads the CSR window batch
+        directly, so the relayed object set is assembled over one
+        concatenated array instead of a per-window payload list that is
+        vstacked client-side.  This is the batch path of the SemiJoin
+        comparator; the per-window relay is its bit-identical scalar
+        reference.
+        """
+        return self._relay_windows(windows, flat=True)
+
+    def _relay_windows(
+        self, windows: Sequence[Rect], flat: bool
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The shared protocol of both relay forms.
+
+        Only the server-side row assembly differs between the scalar and
+        flat paths; the metering (query upload, deduplicated object
+        response) is written once so the two can never drift apart.
+        """
         if not windows:
             return np.empty((0, 4)), np.empty(0, dtype=np.int64)
         win_arr = np.array([w.as_tuple() for w in windows], dtype=np.float64)
@@ -292,13 +362,18 @@ class IndexedRemoteServer(RemoteServer):
         )
         # The probe payload above only accounts the query string + one
         # object per window; exactly what shipping the MBR list costs.
-        payloads = self._server.window_batch(list(windows))
-        all_mbrs = np.vstack([m for m, _ in payloads]) if payloads else np.empty((0, 4))
-        all_oids = (
-            np.concatenate([o for _, o in payloads])
-            if payloads
-            else np.empty(0, dtype=np.int64)
-        )
+        if flat:
+            all_mbrs, all_oids, _ = self._server.window_batch_flat(list(windows))
+        else:
+            payloads = self._server.window_batch(list(windows))
+            all_mbrs = (
+                np.vstack([m for m, _ in payloads]) if payloads else np.empty((0, 4))
+            )
+            all_oids = (
+                np.concatenate([o for _, o in payloads])
+                if payloads
+                else np.empty(0, dtype=np.int64)
+            )
         # Deduplicate objects returned by several windows, keeping the
         # first-seen order (as the original per-window relay did).
         _, first = np.unique(all_oids, return_index=True)

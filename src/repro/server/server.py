@@ -98,6 +98,26 @@ class SpatialServer(SpatialServerInterface):
     def __len__(self) -> int:
         return len(self.dataset)
 
+    def shared_view(self) -> "SpatialServer":
+        """A server sharing this one's immutable state, with fresh statistics.
+
+        The dataset, the aggregate R-tree (and its flattened snapshots) and
+        the oid lookup tables are shared by reference -- all read-only
+        during queries -- while the query-statistics counters are private
+        to the view.  The query broker hands every in-flight query its own
+        view of a cached server build, so concurrent queries meter their
+        server statistics in full isolation without re-running the index
+        construction.
+        """
+        view = SpatialServer.__new__(SpatialServer)
+        view.dataset = self.dataset
+        view.name = self.name
+        view.stats = ServerQueryStats()
+        view._index = self._index
+        view._row_order = self._row_order
+        view._oids_sorted = self._oids_sorted
+        return view
+
     @property
     def index(self) -> AggregateRTree:
         """The internal index.
@@ -122,13 +142,33 @@ class SpatialServer(SpatialServerInterface):
         """Answer a batch of WINDOW queries in one index descent.
 
         Statistics are updated exactly as if :meth:`window` had been called
-        once per window.
+        once per window; the per-window payloads are slices of the flat
+        assembly of :meth:`window_batch_flat`.
         """
-        self.stats.window_queries += len(windows)
+        windows = list(windows)
+        mbrs, oids, bounds = self.window_batch_flat(windows)
         return [
-            self._materialise(oids)
-            for oids in self._index.window_query_batch(windows)
+            (mbrs[bounds[i] : bounds[i + 1]], oids[bounds[i] : bounds[i + 1]])
+            for i in range(len(windows))
         ]
+
+    def window_batch_flat(
+        self, windows: Sequence[Rect]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Answer a batch of WINDOW queries, response assembled in one pass.
+
+        Returns ``(mbrs, oids, bounds)`` in CSR form: the concatenated
+        payloads of all windows in window order, window ``i`` owning rows
+        ``bounds[i]:bounds[i+1]`` (``len(bounds) == W + 1``).  All payload
+        rows are materialised with *one* sorted-oid lookup over the
+        concatenated result instead of one per window; statistics are
+        identical to a loop of :meth:`window` calls.
+        """
+        windows = list(windows)
+        self.stats.window_queries += len(windows)
+        bounds, oid_arr = self._index.window_query_batch_flat(windows)
+        mbrs, oid_arr = self._materialise(oid_arr)
+        return mbrs, oid_arr, bounds
 
     def count(self, window: Rect) -> int:
         self.stats.count_queries += 1

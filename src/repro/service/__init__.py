@@ -1,0 +1,25 @@
+"""The multi-tenant query service.
+
+A thin serving layer over the join substrate: :class:`JoinQuery` describes
+one client request, :class:`QueryBroker` plans it (calibrated cost-model
+front-end with explicit-algorithm override), admits it in deterministic
+waves, deduplicates it through the :class:`~repro.service.cache.ResultCache`
+and executes it cooperatively on the shared frontier engine -- coalescing
+the COUNT exchanges of all in-flight queries per backing server while
+keeping every query's metering ledger isolated and bit-identical to a
+standalone run.
+"""
+
+from repro.service.broker import BrokerStats, QueryBroker
+from repro.service.cache import ResultCache, dataset_token, query_key
+from repro.service.query import JoinQuery, QueryOutcome
+
+__all__ = [
+    "BrokerStats",
+    "JoinQuery",
+    "QueryBroker",
+    "QueryOutcome",
+    "ResultCache",
+    "dataset_token",
+    "query_key",
+]

@@ -1,0 +1,470 @@
+"""The multi-tenant query broker.
+
+PRs 1-4 built the substrate for serving many clients at once: immutable
+shared server stacks, batched COUNT/WINDOW/RANGE endpoints, and a
+level-order frontier engine that amortises exchanges *within* one query.
+This module adds the serving layer itself.  A :class:`QueryBroker` accepts
+batches of join queries -- possibly over different dataset pairs, specs and
+buffer sizes -- and
+
+1. **plans** each query: the calibrated cost-model front-end
+   (:class:`~repro.core.costmodel.CalibratedCostModel`) predicts every
+   registry algorithm's transfer cost and
+   :func:`~repro.core.planner.select_algorithm` picks the cheapest; an
+   explicit ``algorithm=`` on the query overrides the choice, and
+   :meth:`QueryBroker.explain` reports predicted vs. chosen either way;
+
+2. **admits** the planned queries in deterministic waves of at most
+   ``max_wave``, deduplicating identical queries through the result cache
+   (keyed on datasets, spec, algorithm and configuration): a warm cache
+   serves a query without executing anything, and identical queries inside
+   one submission share a single execution;
+
+3. **executes** each wave cooperatively on the shared frontier engine.
+   Every query runs on its own session stack -- own metered channels, own
+   device, own statistics *view* of a cached server build
+   (:meth:`~repro.server.server.SpatialServer.shared_view`) -- and the
+   pending COUNT requests of all in-flight queries that target the same
+   backing server are coalesced into one batched snapshot descent per
+   (server, round).  The coalesced values are attributed back to each
+   query's own ledger through the prefetched accounting endpoints
+   (:meth:`~repro.device.pda.MobileDevice.count_windows_prefetched`), so
+   pairs, bytes, server statistics and decision traces are bit-identical
+   to running the query alone -- under any submission order, with the
+   cache cold or warm (pinned by ``tests/test_service_equivalence.py``).
+
+Algorithms without a coalescible execution (the naive/fixed-grid
+comparators, SemiJoin, or ``execution="recursive"`` overrides) still run
+through the broker on their own isolated stacks; they simply contribute no
+shared rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.core.costmodel import CalibratedCostModel
+from repro.core.planner import PlanDecision, build_algorithm, select_algorithm
+from repro.core.result import JoinResult
+from repro.device.pda import MobileDevice
+from repro.network.config import NetworkConfig
+from repro.server.remote import ServerPair
+from repro.server.server import SpatialServer
+from repro.service.cache import ResultCache, dataset_token, query_key
+from repro.service.query import JoinQuery, QueryOutcome
+
+__all__ = ["BrokerStats", "QueryBroker"]
+
+
+@dataclass
+class BrokerStats:
+    """Service-level accounting (metering of the joins themselves stays on
+    each query's own channels)."""
+
+    queries_submitted: int = 0
+    queries_executed: int = 0
+    cache_hits: int = 0
+    waves: int = 0
+    #: Batched COUNT exchanges actually evaluated: one per (backing server,
+    #: round) across all in-flight queries of a wave.
+    coalesced_exchanges: int = 0
+    #: Exchanges the same queries would have flushed standalone: one per
+    #: (query, server, round).
+    standalone_exchanges: int = 0
+    #: COUNT windows answered through coalesced exchanges.
+    coalesced_count_queries: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class _Admitted:
+    """Broker-internal state of one submitted query."""
+
+    index: int
+    query: JoinQuery
+    plan: PlanDecision
+    key: Tuple
+    outcome: Optional[QueryOutcome] = None
+    # wave-execution state
+    base_r: Optional[SpatialServer] = None
+    base_s: Optional[SpatialServer] = None
+    device: Optional[MobileDevice] = None
+    gen: Optional[Generator] = None
+    pending: Optional[Dict[str, list]] = None
+    result: Optional[JoinResult] = None
+    fingerprints: Optional[Tuple[Tuple, Tuple]] = None
+
+
+@dataclass
+class _Group:
+    """One coalesced COUNT exchange: all windows of a round that target the
+    same backing server."""
+
+    base: SpatialServer
+    windows: list = field(default_factory=list)
+    #: ``(entry, server name, start offset, count)`` slices into ``windows``.
+    slices: list = field(default_factory=list)
+
+
+class QueryBroker:
+    """Plans, admits and executes concurrent join queries.
+
+    Parameters
+    ----------
+    config:
+        Default wire constants / tariffs for queries that carry none.
+    max_wave:
+        Admission width: at most this many distinct queries execute
+        concurrently (per wave).  Waves are formed in submission order, so
+        scheduling is deterministic.
+    cache:
+        Result-cache toggle, or a pre-built :class:`ResultCache` to share
+        between brokers.  Broker-built caches are bounded (FIFO, 4096
+        results); pass your own ``ResultCache(max_entries=None)`` for an
+        unbounded one.  :meth:`clear_caches` releases both the result
+        cache and the server builds of a long-lived broker.
+    selector:
+        The calibrated cost-model front-end; a fresh one (factors at 1.0)
+        is built from ``config`` by default.
+    calibrate:
+        When True, every executed query's measured cost is folded back
+        into the selector's calibration factors *after* its batch
+        finishes.  Off by default so that plan selection -- and therefore
+        every result -- is independent of submission order.
+    index_fanout:
+        Fanout of server indexes built by the broker's server cache.
+    """
+
+    def __init__(
+        self,
+        config: Optional[NetworkConfig] = None,
+        max_wave: int = 16,
+        cache: object = True,
+        selector: Optional[CalibratedCostModel] = None,
+        calibrate: bool = False,
+        index_fanout: int = 16,
+    ) -> None:
+        if max_wave < 1:
+            raise ValueError("max_wave must be >= 1")
+        self.config = config or NetworkConfig()
+        self.max_wave = max_wave
+        self.index_fanout = index_fanout
+        self.calibrate = calibrate
+        if isinstance(cache, ResultCache):
+            self.cache = cache
+        else:
+            self.cache = ResultCache(enabled=bool(cache), max_entries=4096)
+        self.selector = selector or CalibratedCostModel(self.config)
+        self.stats = BrokerStats()
+        self._pending: List[_Admitted] = []
+        self._servers: Dict[Tuple, Tuple[SpatialServer, SpatialServer]] = {}
+
+    def clear_caches(self) -> None:
+        """Release the result cache and the cached server builds.
+
+        For long-lived brokers: results and index builds are retained
+        across batches by design (that is the serving win); this is the
+        explicit release valve when the dataset population rotates.
+        """
+        self.cache.clear()
+        self._servers.clear()
+
+    # ------------------------------------------------------------------ #
+    # planning
+    # ------------------------------------------------------------------ #
+
+    def explain(self, query: JoinQuery) -> PlanDecision:
+        """Predicted per-algorithm costs and the algorithm that would run.
+
+        ``overridden`` marks an explicit ``algorithm=`` on the query; the
+        prediction set is reported either way so the override can be
+        compared against the model's own preference.
+        """
+        params = query.resolved_params()
+        # Predict under the query's own configuration, sharing the broker's
+        # calibration state.
+        selector = self.selector.for_query(
+            query.config or self.config,
+            buffer_size=query.buffer_size,
+            bucket_queries=params.bucket_queries,
+            grid_k=params.grid_k,
+        )
+        return select_algorithm(
+            selector,
+            query.spec,
+            query.resolved_window(),
+            len(query.dataset_r),
+            len(query.dataset_s),
+            algorithm=query.algorithm,
+        )
+
+    # ------------------------------------------------------------------ #
+    # submission / admission
+    # ------------------------------------------------------------------ #
+
+    def submit(self, query: JoinQuery) -> int:
+        """Validate, plan and enqueue one query; returns its ticket index.
+
+        Tickets are positions in the outcome list of the next
+        :meth:`execute` call.
+        """
+        # explain() -> select_algorithm() rejects unknown algorithm names.
+        plan = self.explain(query)
+        entry = _Admitted(
+            index=len(self._pending),
+            query=query,
+            plan=plan,
+            key=query_key(query, plan.algorithm, self.config),
+        )
+        self._pending.append(entry)
+        self.stats.queries_submitted += 1
+        return entry.index
+
+    def submit_all(self, queries: Sequence[JoinQuery]) -> List[int]:
+        return [self.submit(query) for query in queries]
+
+    def run_batch(self, queries: Sequence[JoinQuery]) -> List[QueryOutcome]:
+        """Submit a batch and execute it; outcomes in submission order."""
+        self.submit_all(queries)
+        return self.execute()
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def execute(self) -> List[QueryOutcome]:
+        """Run every pending query; returns outcomes in submission order.
+
+        Warm cache hits never execute; identical queries within the batch
+        share one execution (the first occurrence leads) when the result
+        cache is enabled.  The remaining distinct queries run in waves of
+        at most ``max_wave``, all queries of a wave advancing in lock-step
+        rounds with their COUNT exchanges coalesced per backing server.
+
+        The batch is taken off the queue up front: if a query raises
+        mid-wave the whole batch is discarded rather than left to leak
+        into the next :meth:`execute` call.
+        """
+        batch, self._pending = self._pending, []
+        pending, leaders, followers = self._admit(batch)
+        waves = [
+            pending[i : i + self.max_wave]
+            for i in range(0, len(pending), self.max_wave)
+        ]
+        for wave_index, wave in enumerate(waves):
+            self._execute_wave(wave, wave_index)
+            for entry in wave:
+                assert entry.result is not None
+                self.cache.put(entry.key, entry.result)
+                entry.outcome = QueryOutcome(
+                    query=entry.query,
+                    result=entry.result,
+                    plan=entry.plan,
+                    cached=False,
+                    wave=wave_index,
+                    ledger_fingerprints=entry.fingerprints,
+                )
+            self.stats.waves += 1
+            self.stats.queries_executed += len(wave)
+        # Followers share their leader's result (one execution per key).
+        for entry in followers:
+            leader = leaders[entry.key]
+            assert leader.outcome is not None
+            entry.outcome = QueryOutcome(
+                query=entry.query,
+                result=leader.outcome.result,
+                plan=entry.plan,
+                cached=True,
+                wave=leader.outcome.wave,
+            )
+            self.stats.cache_hits += 1
+        outcomes = []
+        for entry in sorted(batch, key=lambda e: e.index):
+            assert entry.outcome is not None
+            outcomes.append(entry.outcome)
+        if self.calibrate:
+            for outcome in outcomes:
+                if not outcome.cached:
+                    self._observe(outcome)
+        return outcomes
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _admit(self, batch: List[_Admitted]):
+        """Split a batch into executable leaders and cache followers.
+
+        Deduplication -- warm hits and in-batch twins alike -- is a cache
+        feature: with the cache disabled every query executes on its own
+        stack and gets its own result object (the experiment harness
+        relies on that one-result-per-run shape).
+        """
+        leaders: Dict[Tuple, _Admitted] = {}
+        followers: List[_Admitted] = []
+        to_execute: List[_Admitted] = []
+        for entry in batch:
+            if not self.cache.enabled:
+                to_execute.append(entry)
+                continue
+            cached = self.cache.get(entry.key)
+            if cached is not None:
+                entry.outcome = QueryOutcome(
+                    query=entry.query,
+                    result=cached,
+                    plan=entry.plan,
+                    cached=True,
+                    wave=-1,
+                )
+                self.stats.cache_hits += 1
+                continue
+            if entry.key in leaders:
+                followers.append(entry)
+                continue
+            leaders[entry.key] = entry
+            to_execute.append(entry)
+        return to_execute, leaders, followers
+
+    def _base_servers(self, query: JoinQuery) -> Tuple[SpatialServer, SpatialServer]:
+        """The cached server build backing one query's dataset pair."""
+        if query.servers is not None:
+            return query.servers
+        key = (
+            dataset_token(query.dataset_r),
+            dataset_token(query.dataset_s),
+            self.index_fanout,
+        )
+        pair = self._servers.get(key)
+        if pair is None:
+            pair = (
+                SpatialServer(
+                    query.dataset_r.rename("R"), name="R", index_fanout=self.index_fanout
+                ),
+                SpatialServer(
+                    query.dataset_s.rename("S"), name="S", index_fanout=self.index_fanout
+                ),
+            )
+            self._servers[key] = pair
+        return pair
+
+    def _build_stack(self, entry: _Admitted) -> None:
+        """One isolated session stack per query: statistics views of the
+        cached servers, fresh metered channels, a fresh device."""
+        query = entry.query
+        base_r, base_s = self._base_servers(query)
+        entry.base_r, entry.base_s = base_r, base_s
+        algorithm = entry.plan.algorithm
+        pair = ServerPair.connect(
+            base_r.shared_view(),
+            base_s.shared_view(),
+            config=query.config or self.config,
+            indexed=algorithm == "semijoin",
+        )
+        entry.device = MobileDevice(pair, buffer_size=query.buffer_size)
+        kwargs: Dict[str, object] = {}
+        if query.execution is not None:
+            kwargs["execution"] = query.execution
+        algo = build_algorithm(
+            algorithm, entry.device, query.spec, query.resolved_params(), **kwargs
+        )
+        entry.gen = algo.run_cooperative(query.resolved_window())
+
+    @staticmethod
+    def _advance(entry: _Admitted, answers) -> None:
+        try:
+            entry.pending = entry.gen.send(answers)
+        except StopIteration as stop:
+            entry.pending = None
+            entry.result = stop.value
+
+    def _execute_wave(self, wave: List[_Admitted], wave_index: int) -> None:
+        """Drive all queries of one wave in lock-step coalesced rounds."""
+        active: List[_Admitted] = []
+        for entry in wave:
+            self._build_stack(entry)
+            # Priming runs non-cooperative queries to completion on their
+            # own stack; frontier queries stop at their first COUNT round.
+            self._advance(entry, None)
+            if entry.pending is not None:
+                active.append(entry)
+        while active:
+            # Gather: one group per backing server across all active queries.
+            groups: Dict[int, _Group] = {}
+            for entry in active:
+                for server_name, rects in entry.pending.items():
+                    if not rects:
+                        continue
+                    base = entry.base_r if server_name.upper() == "R" else entry.base_s
+                    group = groups.setdefault(id(base), _Group(base))
+                    group.slices.append((entry, server_name, len(group.windows), len(rects)))
+                    group.windows.extend(rects)
+            # Evaluate: one batched snapshot descent per backing server.
+            answers_for: Dict[Tuple[int, str], List[int]] = {}
+            for group in groups.values():
+                values = group.base.index.count_batch(group.windows)
+                self.stats.coalesced_exchanges += 1
+                self.stats.coalesced_count_queries += len(group.windows)
+                for entry, server_name, start, n in group.slices:
+                    self.stats.standalone_exchanges += 1
+                    answers_for[(id(entry), server_name)] = values[start : start + n]
+            # Attribute and advance, in submission order: each query books
+            # its own share on its own ledger, exactly as a standalone
+            # count_windows call would have.
+            still_active: List[_Admitted] = []
+            for entry in active:
+                answers: Dict[str, List[int]] = {}
+                for server_name, rects in entry.pending.items():
+                    if rects:
+                        answers[server_name] = entry.device.count_windows_prefetched(
+                            server_name,
+                            rects,
+                            answers_for[(id(entry), server_name)],
+                        )
+                    else:
+                        answers[server_name] = []
+                self._advance(entry, answers)
+                if entry.pending is not None:
+                    still_active.append(entry)
+            active = still_active
+        for entry in wave:
+            # Keep the ledger digest for provenance, then release the
+            # per-query execution state (results are kept).
+            entry.fingerprints = (
+                entry.device.servers.r.channel.ledger_fingerprint(),
+                entry.device.servers.s.channel.ledger_fingerprint(),
+            )
+            entry.gen = None
+            entry.device = None
+
+    def _observe(self, outcome: QueryOutcome) -> None:
+        """Fold one measured run into the selector's calibration factors.
+
+        The raw prediction must come from the same per-query front-end twin
+        that planned the query (same buffer, tariffs, grid fan-out), or the
+        factor would absorb the configuration difference instead of the
+        model error.
+        """
+        algorithm = outcome.plan.algorithm
+        if algorithm not in outcome.plan.predicted:
+            return
+        query = outcome.query
+        params = query.resolved_params()
+        selector = self.selector.for_query(
+            query.config or self.config,
+            buffer_size=query.buffer_size,
+            bucket_queries=params.bucket_queries,
+            grid_k=params.grid_k,
+        )
+        raw = selector.predict(
+            query.spec,
+            query.resolved_window(),
+            len(query.dataset_r),
+            len(query.dataset_s),
+            calibrated=False,
+        )[algorithm]
+        # The twin shares the broker selector's factor table, so observing
+        # through it updates the one calibration state.
+        selector.observe(algorithm, raw, outcome.result.total_cost)

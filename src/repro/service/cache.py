@@ -1,0 +1,125 @@
+"""The result cache of the query service.
+
+Identical queries are executed once.  "Identical" is decided by a
+content-derived key covering everything that determines a join's pairs and
+bytes:
+
+* the two datasets (name, cardinality and a digest of the MBR/oid arrays
+  -- two dataset *objects* holding the same rows share cache entries),
+* the join spec,
+* the algorithm that actually runs (post plan-selection) and its
+  execution-mode override,
+* the device/network configuration: buffer size, algorithm parameters,
+  joined window and wire constants.
+
+Dataset digests are memoised on the dataset object itself (datasets are
+immutable, their arrays write-locked at construction -- the same idiom as
+``SpatialDataset.entries()``), so hashing the arrays happens once per
+dataset rather than once per query.
+
+Cache hits return the *same* :class:`~repro.core.result.JoinResult` object
+the original execution produced; results are treated as immutable once
+assembled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional, Tuple
+
+from repro.core.result import JoinResult
+from repro.datasets.dataset import SpatialDataset
+from repro.service.query import JoinQuery
+
+__all__ = ["ResultCache", "dataset_token", "query_key"]
+
+
+def dataset_token(dataset: SpatialDataset) -> Tuple:
+    """A hashable content token of one dataset.
+
+    ``(name, n, digest(mbrs), digest(oids))`` -- stable across dataset
+    objects holding the same rows, memoised on the (immutable) dataset so
+    each one is digested once.
+    """
+    token = dataset.__dict__.get("_service_token_cache")
+    if token is None:
+        token = (
+            dataset.name,
+            len(dataset),
+            hashlib.sha1(dataset.mbrs.tobytes()).hexdigest(),
+            hashlib.sha1(dataset.oids.tobytes()).hexdigest(),
+        )
+        object.__setattr__(dataset, "_service_token_cache", token)
+    return token
+
+
+def query_key(query: JoinQuery, algorithm: str, default_config) -> Tuple:
+    """The full cache key of one query under its resolved algorithm.
+
+    ``default_config`` is the broker's network config, substituted when the
+    query does not carry its own -- two queries differing only in *where*
+    the config came from must share an entry.
+    """
+    config = query.config if query.config is not None else default_config
+    return (
+        dataset_token(query.dataset_r),
+        dataset_token(query.dataset_s),
+        query.spec,
+        algorithm.lower(),
+        query.execution,
+        query.buffer_size,
+        query.resolved_params(),
+        query.resolved_window().as_tuple(),
+        config,
+    )
+
+
+class ResultCache:
+    """A keyed store of finished join results with hit/miss accounting.
+
+    ``max_entries`` bounds the store for long-lived brokers: when full,
+    the oldest entry is evicted first (insertion order -- results are
+    immutable, so recency bookkeeping would buy little over FIFO here).
+    ``None`` means unbounded.
+    """
+
+    def __init__(self, enabled: bool = True, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None for unbounded)")
+        self.enabled = enabled
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: Dict[Tuple, JoinResult] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Tuple) -> Optional[JoinResult]:
+        if not self.enabled:
+            return None
+        result = self._entries.get(key)
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def put(self, key: Tuple, result: JoinResult) -> None:
+        if not self.enabled:
+            return
+        if (
+            self.max_entries is not None
+            and key not in self._entries
+            and len(self._entries) >= self.max_entries
+        ):
+            self._entries.pop(next(iter(self._entries)))
+            self.evictions += 1
+        self._entries[key] = result
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0

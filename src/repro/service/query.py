@@ -1,0 +1,125 @@
+"""Query and outcome containers of the query service.
+
+A :class:`JoinQuery` is one client request: which two datasets to join,
+under which :class:`~repro.core.join_types.JoinSpec`, with which device and
+wire configuration -- and, optionally, which algorithm (``algorithm=None``
+lets the broker's calibrated cost-model front-end choose).  Queries are
+plain immutable descriptions; all execution state (servers, channels,
+device) is owned by the broker, which is what lets many queries over the
+same datasets share one server build while keeping their metering ledgers
+fully isolated.
+
+A :class:`QueryOutcome` pairs the query with its measured
+:class:`~repro.core.result.JoinResult`, the plan decision that picked its
+algorithm, and the service-level provenance (which wave ran it, whether it
+was served from the result cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.base import AlgorithmParameters
+from repro.core.join_types import JoinSpec
+from repro.core.planner import PlanDecision
+from repro.core.result import JoinResult
+from repro.datasets.dataset import SpatialDataset
+from repro.geometry.rect import Rect
+from repro.network.config import NetworkConfig
+from repro.server.server import SpatialServer
+
+__all__ = ["JoinQuery", "QueryOutcome"]
+
+
+@dataclass(frozen=True, eq=False)
+class JoinQuery:
+    """One join request submitted to the broker.
+
+    Identity note: queries compare (and hash) by object identity -- the
+    dataset fields hold arrays, so structural equality lives in the result
+    cache's content-derived keys instead
+    (:func:`repro.service.cache.dataset_token`).
+
+    Parameters
+    ----------
+    dataset_r, dataset_s:
+        The two relations.  Queries over the same pair share one cached
+        server build inside the broker (each execution gets its own
+        statistics view).
+    spec:
+        The join query (intersection / distance / iceberg).
+    algorithm:
+        Explicit registry algorithm, or ``None`` to let the calibrated
+        cost-model front-end choose among
+        :data:`~repro.core.planner.SELECTABLE_ALGORITHMS`.
+    buffer_size:
+        Device buffer capacity in objects for this query.
+    params:
+        Algorithm tunables; defaults to :class:`AlgorithmParameters`.
+    window:
+        Joined region; defaults to the union MBR of both datasets.
+    config:
+        Wire constants / tariffs; ``None`` inherits the broker's config.
+    execution:
+        Execution-mode override forwarded to algorithms that accept one
+        (``"frontier"``/``"recursive"`` for the engine-driven algorithms,
+        ``"batch"``/``"scalar"`` for SemiJoin); ``None`` keeps each
+        algorithm's default.
+    servers:
+        Optional pre-built base ``(server_r, server_s)`` pair (e.g. from
+        the experiment harness's workload cache); the broker still hands
+        the execution its own statistics views of them.
+    """
+
+    dataset_r: SpatialDataset
+    dataset_s: SpatialDataset
+    spec: JoinSpec
+    algorithm: Optional[str] = None
+    buffer_size: int = 800
+    params: Optional[AlgorithmParameters] = None
+    window: Optional[Rect] = None
+    config: Optional[NetworkConfig] = None
+    execution: Optional[str] = None
+    servers: Optional[Tuple[SpatialServer, SpatialServer]] = field(
+        default=None, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.buffer_size <= 0:
+            raise ValueError("buffer_size must be positive")
+
+    def resolved_window(self) -> Rect:
+        """The joined region (defaults to the union MBR of both datasets)."""
+        if self.window is not None:
+            return self.window
+        return self.dataset_r.bounds().union(self.dataset_s.bounds())
+
+    def resolved_params(self) -> AlgorithmParameters:
+        return self.params if self.params is not None else AlgorithmParameters()
+
+
+@dataclass
+class QueryOutcome:
+    """One executed (or cache-served) query, with full provenance."""
+
+    query: JoinQuery
+    result: JoinResult
+    plan: PlanDecision
+    #: True when the result came from the cache (warm hit or an identical
+    #: query earlier in the same submission); the result object is shared
+    #: with the execution that produced it.
+    cached: bool = False
+    #: Index of the wave that executed the query (-1 for cache hits).
+    wave: int = -1
+    #: ``(R, S)`` channel ledger fingerprints of the execution that
+    #: produced the result (:meth:`~repro.network.channel.Channel.
+    #: ledger_fingerprint`); ``None`` for cache-served outcomes.  The
+    #: equivalence suite pins these record for record against standalone
+    #: runs -- coalescing may share evaluations, never the attributed
+    #: ledger.
+    ledger_fingerprints: Optional[Tuple[Tuple, Tuple]] = None
+
+    @property
+    def algorithm(self) -> str:
+        return self.plan.algorithm

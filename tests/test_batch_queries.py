@@ -142,6 +142,131 @@ class TestServerBatches:
         )
 
 
+class TestWindowBatchFlat:
+    """The CSR window endpoint must decompose into the per-window batch."""
+
+    def _pair(self):
+        ds_r = clustered(n=220, clusters=3, seed=31, name="R")
+        ds_s = clustered(n=220, clusters=4, seed=32, name="S")
+        server_r = SpatialServer(ds_r, name="R")
+        server_s = SpatialServer(ds_s, name="S")
+        return ServerPair.connect(server_r, server_s, config=NetworkConfig())
+
+    def test_server_flat_matches_window_batch(self):
+        ds = clustered(n=300, clusters=5, seed=33)
+        server = SpatialServer(ds, name="R")
+        windows = _random_windows(25, seed=35)
+        mbrs, oids, bounds = server.window_batch_flat(windows)
+        assert bounds.shape == (len(windows) + 1,)
+        assert bounds[0] == 0 and bounds[-1] == oids.shape[0]
+        fresh = SpatialServer(ds, name="R")
+        per_window = fresh.window_batch(windows)
+        for i, (w_mbrs, w_oids) in enumerate(per_window):
+            assert oids[bounds[i] : bounds[i + 1]].tolist() == w_oids.tolist()
+            assert np.array_equal(mbrs[bounds[i] : bounds[i + 1]], w_mbrs)
+        assert server.stats.as_dict() == fresh.stats.as_dict()
+
+    def test_remote_flat_ledger_identical_to_scalar_loop(self):
+        pair_a = self._pair()
+        pair_b = self._pair()
+        windows = _random_windows(14, seed=37)
+        mbrs, oids, bounds = pair_a.r.window_batch_flat(windows)
+        looped = [pair_b.r.window(w) for w in windows]
+        for i, (_, w_oids) in enumerate(looped):
+            assert sorted(oids[bounds[i] : bounds[i + 1]].tolist()) == sorted(
+                w_oids.tolist()
+            )
+        assert pair_a.r.total_bytes() == pair_b.r.total_bytes()
+        assert pair_a.r.channel.snapshot() == pair_b.r.channel.snapshot()
+        # Batching groups the query records before the responses; the
+        # record *multiset* must still be exactly the scalar loop's.
+        assert sorted(pair_a.r.channel.log.fingerprint()) == sorted(
+            pair_b.r.channel.log.fingerprint()
+        )
+        assert (
+            pair_a.r.backing_server.stats.as_dict()
+            == pair_b.r.backing_server.stats.as_dict()
+        )
+
+    def test_empty_batch(self):
+        server = SpatialServer(uniform(n=50, seed=39), name="R")
+        mbrs, oids, bounds = server.window_batch_flat([])
+        assert mbrs.shape == (0, 4) and oids.shape == (0,)
+        assert bounds.tolist() == [0]
+        assert server.stats.window_queries == 0
+
+
+class TestSemiJoinBatchExecution:
+    """``execution="batch"`` == the scalar protocol loop, bit for bit."""
+
+    def _run(self, execution, seed=41, epsilon=0.04):
+        from repro.api import AdHocJoinSession
+
+        r = clustered(n=150, clusters=3, seed=seed, name="R")
+        s = uniform(n=90, seed=seed + 7, name="S")
+        session = AdHocJoinSession(r, s, buffer_size=200, indexed=True)
+        return session.run(
+            algorithm="semijoin", kind="distance", epsilon=epsilon,
+            execution=execution,
+        )
+
+    @pytest.mark.parametrize("seed", [41, 42, 43])
+    def test_batch_equals_scalar(self, seed):
+        batch = self._run("batch", seed=seed)
+        scalar = self._run("scalar", seed=seed)
+        assert batch.sorted_pairs() == scalar.sorted_pairs()
+        assert batch.total_bytes == scalar.total_bytes
+        assert batch.bytes_r == scalar.bytes_r
+        assert batch.bytes_s == scalar.bytes_s
+        assert batch.server_stats == scalar.server_stats
+        assert batch.channel_stats == scalar.channel_stats
+        assert [e.action for e in batch.trace] == [e.action for e in scalar.trace]
+        assert [e.detail for e in batch.trace] == [e.detail for e in scalar.trace]
+
+    def test_batch_is_the_default(self):
+        import inspect
+
+        from repro.core.planner import ALGORITHMS
+
+        sig = inspect.signature(ALGORITHMS["semijoin"].__init__)
+        assert sig.parameters["execution"].default == "batch"
+
+    def test_unknown_execution_rejected(self):
+        with pytest.raises(ValueError):
+            self._run("frontier")
+
+
+class TestBrokerDeterminismCompact:
+    """Shuffled submission order => identical per-query results and bytes."""
+
+    def test_shuffled_orders_identical(self):
+        import random
+
+        from repro.core.join_types import JoinSpec
+        from repro.service import JoinQuery, QueryBroker
+
+        r = clustered(n=100, clusters=3, seed=51, name="R")
+        s = clustered(n=100, clusters=2, seed=52, name="S")
+        queries = [
+            JoinQuery(r, s, JoinSpec.distance(0.03), algorithm=a, buffer_size=96)
+            for a in ("upjoin", "srjoin", "mobijoin", "naive")
+        ]
+        baseline = {
+            id(o.query): (o.result.sorted_pairs(), o.result.total_bytes,
+                          o.result.bytes_r, o.result.bytes_s)
+            for o in QueryBroker(cache=False).run_batch(queries)
+        }
+        shuffled = list(queries)
+        random.Random(9).shuffle(shuffled)
+        for outcome in QueryBroker(cache=False).run_batch(shuffled):
+            assert (
+                outcome.result.sorted_pairs(),
+                outcome.result.total_bytes,
+                outcome.result.bytes_r,
+                outcome.result.bytes_s,
+            ) == baseline[id(outcome.query)]
+
+
 class TestVectorisedSweepAgainstScalarReference:
     @given(
         st.integers(min_value=0, max_value=70),

@@ -1,0 +1,387 @@
+"""Broker-executed queries == standalone runs, bit for bit.
+
+The query service may change *how* work is scheduled -- plan selection,
+admission waves, result-cache deduplication, cross-query COUNT coalescing
+-- but never what any single query measures.  This suite pins every query
+executed through :class:`~repro.service.broker.QueryBroker` against the
+same query run standalone through :func:`~repro.core.planner.run_join`:
+
+* the result pair set (and semi-join object list),
+* the byte totals (overall and per server), the tariff-weighted cost and
+  the estimated response time,
+* the operator counters, the per-server query statistics and the channel
+  ledgers down to the per-message traffic-record sequence
+  (:meth:`~repro.network.channel.Channel.ledger_fingerprint` -- coalescing
+  may share the physical evaluation, never the attributed ledger),
+* the full decision trace,
+
+for every algorithm in ``planner.ALGORITHMS``, under multiple submission
+orders, and with the result cache cold and warm.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.core.join_types import JoinSpec
+from repro.core.planner import ALGORITHMS, SELECTABLE_ALGORITHMS, run_join
+from repro.datasets.synthetic import clustered, uniform
+from repro.geometry.rect import Rect
+from repro.service import JoinQuery, QueryBroker
+
+BUFFER = 96
+
+
+def _datasets():
+    return (
+        clustered(n=110, clusters=3, seed=11, name="R"),
+        clustered(n=110, clusters=4, seed=12, std=0.04, name="S"),
+    )
+
+
+def _other_datasets():
+    return (
+        uniform(n=90, seed=21, name="R"),
+        clustered(n=100, clusters=2, seed=22, name="S"),
+    )
+
+
+def _trace_tuples(result) -> List[tuple]:
+    return [
+        (e.depth, e.action, e.detail, e.count_r, e.count_s, e.window.as_tuple())
+        for e in result.trace
+    ]
+
+
+def _standalone(query: JoinQuery, algorithm: str):
+    return run_join(
+        query.dataset_r,
+        query.dataset_s,
+        query.spec,
+        algorithm=algorithm,
+        buffer_size=query.buffer_size,
+        config=query.config,
+        params=query.params,
+        window=query.window,
+        **({"execution": query.execution} if query.execution is not None else {}),
+    )
+
+
+def _assert_identical(result, reference) -> None:
+    assert result.sorted_pairs() == reference.sorted_pairs()
+    assert result.objects == reference.objects
+    assert result.total_bytes == reference.total_bytes
+    assert result.bytes_r == reference.bytes_r
+    assert result.bytes_s == reference.bytes_s
+    assert result.total_cost == reference.total_cost
+    assert result.estimated_time_s == reference.estimated_time_s
+    assert result.operator_counts == reference.operator_counts
+    assert result.server_stats == reference.server_stats
+    assert result.channel_stats == reference.channel_stats
+    assert result.buffer_high_water_mark == reference.buffer_high_water_mark
+    assert _trace_tuples(result) == _trace_tuples(reference)
+
+
+class TestBrokerEqualsStandalone:
+    """One batch holding every algorithm; each outcome == its standalone run."""
+
+    @pytest.mark.parametrize("order_seed", [None, 0, 1])
+    def test_all_algorithms_any_submission_order(self, order_seed):
+        r, s = _datasets()
+        spec = JoinSpec.distance(0.03)
+        queries = [
+            JoinQuery(r, s, spec, algorithm=name, buffer_size=BUFFER)
+            for name in sorted(ALGORITHMS)
+        ]
+        if order_seed is not None:
+            random.Random(order_seed).shuffle(queries)
+        broker = QueryBroker()
+        outcomes = broker.run_batch(queries)
+        assert [o.query for o in outcomes] == queries
+        for outcome in outcomes:
+            reference = _standalone(outcome.query, outcome.algorithm)
+            _assert_identical(outcome.result, reference)
+        # Coalescing really happened: the frontier queries of the batch
+        # shared server-round exchanges.
+        assert 0 < broker.stats.coalesced_exchanges < broker.stats.standalone_exchanges
+
+    def test_ledger_fingerprints_match_standalone(self):
+        """The attributed per-message traffic is identical record for record.
+
+        The broker captures each execution's channel ledger fingerprints
+        (`Channel.ledger_fingerprint`); a standalone stack over the same
+        query must produce byte-for-byte the same record sequences --
+        coalescing shares evaluations, never the attributed ledger.
+        """
+        from repro.core.planner import build_algorithm, build_session_stack
+
+        r, s = _datasets()
+        spec = JoinSpec.intersection()
+        queries = [
+            JoinQuery(r, s, spec, algorithm=name, buffer_size=BUFFER)
+            for name in ("upjoin", "srjoin", "mobijoin", "naive")
+        ]
+        outcomes = QueryBroker().run_batch(queries)
+        for outcome in outcomes:
+            assert outcome.ledger_fingerprints is not None
+            _, _, device = build_session_stack(
+                outcome.query.dataset_r,
+                outcome.query.dataset_s,
+                buffer_size=outcome.query.buffer_size,
+            )
+            algo = build_algorithm(outcome.algorithm, device, outcome.query.spec)
+            algo.run(outcome.query.resolved_window())
+            assert outcome.ledger_fingerprints == (
+                device.servers.r.channel.ledger_fingerprint(),
+                device.servers.s.channel.ledger_fingerprint(),
+            )
+        # Cache-served outcomes carry no execution ledger of their own.
+        warm = QueryBroker()
+        twin = JoinQuery(r, s, spec, algorithm="upjoin", buffer_size=BUFFER)
+        repeat = warm.run_batch([twin, twin])
+        assert repeat[0].ledger_fingerprints is not None
+        assert repeat[1].ledger_fingerprints is None
+
+    def test_mixed_dataset_pairs_specs_and_buffers(self):
+        r1, s1 = _datasets()
+        r2, s2 = _other_datasets()
+        queries = [
+            JoinQuery(r1, s1, JoinSpec.distance(0.03), algorithm="upjoin", buffer_size=64),
+            JoinQuery(r2, s2, JoinSpec.intersection(), algorithm="srjoin", buffer_size=128),
+            JoinQuery(r1, s1, JoinSpec.iceberg(0.05, 2), algorithm="mobijoin", buffer_size=96),
+            JoinQuery(r2, s2, JoinSpec.distance(0.02), algorithm="mobijoin", buffer_size=96),
+            JoinQuery(r1, s1, JoinSpec.distance(0.03), algorithm="naive", buffer_size=64),
+        ]
+        outcomes = QueryBroker(max_wave=8).run_batch(queries)
+        for outcome in outcomes:
+            _assert_identical(
+                outcome.result, _standalone(outcome.query, outcome.algorithm)
+            )
+
+    @pytest.mark.parametrize("max_wave", [1, 2, 16])
+    def test_admission_width_never_changes_results(self, max_wave):
+        r, s = _datasets()
+        spec = JoinSpec.distance(0.03)
+        queries = [
+            JoinQuery(r, s, spec, algorithm=name, buffer_size=BUFFER)
+            for name in sorted(ALGORITHMS)
+        ]
+        broker = QueryBroker(max_wave=max_wave, cache=False)
+        outcomes = broker.run_batch(queries)
+        expected_waves = -(-len(queries) // max_wave)
+        assert broker.stats.waves == expected_waves
+        for outcome in outcomes:
+            _assert_identical(
+                outcome.result, _standalone(outcome.query, outcome.algorithm)
+            )
+
+    def test_recursive_execution_override_through_broker(self):
+        r, s = _datasets()
+        query = JoinQuery(
+            r, s, JoinSpec.distance(0.03), algorithm="upjoin",
+            buffer_size=BUFFER, execution="recursive",
+        )
+        (outcome,) = QueryBroker().run_batch([query])
+        _assert_identical(outcome.result, _standalone(query, "upjoin"))
+
+
+class TestResultCache:
+    def test_cold_then_warm_cache_bit_identical(self):
+        r, s = _datasets()
+        spec = JoinSpec.distance(0.03)
+        queries = [
+            JoinQuery(r, s, spec, algorithm=name, buffer_size=BUFFER)
+            for name in sorted(ALGORITHMS)
+        ]
+        broker = QueryBroker()
+        cold = broker.run_batch(queries)
+        warm = broker.run_batch(list(queries))
+        assert all(not o.cached for o in cold)
+        assert all(o.cached for o in warm)
+        assert broker.stats.cache_hits == len(queries)
+        for c, w in zip(cold, warm):
+            assert w.result is c.result  # served, not re-executed
+            _assert_identical(w.result, _standalone(w.query, w.algorithm))
+
+    def test_in_batch_deduplication_executes_once(self):
+        r, s = _datasets()
+        query = JoinQuery(r, s, JoinSpec.distance(0.03), algorithm="srjoin", buffer_size=BUFFER)
+        twin = JoinQuery(r, s, JoinSpec.distance(0.03), algorithm="srjoin", buffer_size=BUFFER)
+        broker = QueryBroker()
+        outcomes = broker.run_batch([query, twin, query])
+        assert broker.stats.queries_executed == 1
+        assert [o.cached for o in outcomes] == [False, True, True]
+        assert outcomes[1].result is outcomes[0].result
+        _assert_identical(outcomes[0].result, _standalone(query, "srjoin"))
+
+    def test_content_equal_datasets_share_entries(self):
+        """Dataset identity is content-derived, not object identity."""
+        r1, s1 = _datasets()
+        r2, s2 = _datasets()  # fresh objects, same rows
+        assert r1 is not r2
+        spec = JoinSpec.distance(0.03)
+        broker = QueryBroker()
+        first = broker.run_batch([JoinQuery(r1, s1, spec, algorithm="upjoin", buffer_size=BUFFER)])
+        second = broker.run_batch([JoinQuery(r2, s2, spec, algorithm="upjoin", buffer_size=BUFFER)])
+        assert not first[0].cached
+        assert second[0].cached
+        assert second[0].result is first[0].result
+
+    def test_disabled_cache_disables_dedup_too(self):
+        """cache=False => one execution and one result object per query."""
+        r, s = _datasets()
+        query = JoinQuery(r, s, JoinSpec.distance(0.03), algorithm="srjoin", buffer_size=BUFFER)
+        twin = JoinQuery(r, s, JoinSpec.distance(0.03), algorithm="srjoin", buffer_size=BUFFER)
+        broker = QueryBroker(cache=False)
+        outcomes = broker.run_batch([query, twin])
+        assert broker.stats.queries_executed == 2
+        assert not outcomes[0].cached and not outcomes[1].cached
+        assert outcomes[0].result is not outcomes[1].result
+        assert outcomes[0].result.sorted_pairs() == outcomes[1].result.sorted_pairs()
+        assert outcomes[0].result.total_bytes == outcomes[1].result.total_bytes
+
+    def test_failed_batch_does_not_leak_into_the_next(self):
+        """A query raising mid-wave discards the batch, not the broker."""
+        r, s = _datasets()
+        spec = JoinSpec.distance(0.03)
+        good = JoinQuery(r, s, spec, algorithm="upjoin", buffer_size=BUFFER)
+        bad = JoinQuery(r, s, spec, algorithm="upjoin", buffer_size=BUFFER,
+                        execution="bogus-mode")
+        broker = QueryBroker()
+        with pytest.raises(ValueError):
+            broker.run_batch([good, bad])
+        outcomes = broker.run_batch([good])
+        assert len(outcomes) == 1
+        _assert_identical(outcomes[0].result, _standalone(good, "upjoin"))
+
+    def test_result_cache_eviction_is_bounded(self):
+        from repro.service import ResultCache
+
+        r, s = _datasets()
+        spec = JoinSpec.distance(0.03)
+        cache = ResultCache(max_entries=1)
+        broker = QueryBroker(cache=cache)
+        a = JoinQuery(r, s, spec, algorithm="upjoin", buffer_size=64)
+        b = JoinQuery(r, s, spec, algorithm="upjoin", buffer_size=128)
+        broker.run_batch([a])
+        broker.run_batch([b])  # evicts a
+        assert len(cache) == 1 and cache.evictions == 1
+        (again,) = broker.run_batch([a])  # re-executes after eviction
+        assert not again.cached
+
+    def test_differing_config_never_shares_entries(self):
+        r, s = _datasets()
+        spec = JoinSpec.distance(0.03)
+        broker = QueryBroker()
+        a = JoinQuery(r, s, spec, algorithm="upjoin", buffer_size=64)
+        b = JoinQuery(r, s, spec, algorithm="upjoin", buffer_size=128)
+        c = JoinQuery(r, s, spec, algorithm="upjoin", buffer_size=64,
+                      window=Rect(0.0, 0.0, 0.5, 0.5))
+        outcomes = broker.run_batch([a, b, c])
+        assert [o.cached for o in outcomes] == [False, False, False]
+        assert broker.stats.queries_executed == 3
+
+
+class TestPlanSelection:
+    def test_explain_reports_predicted_and_override(self):
+        r, s = _datasets()
+        spec = JoinSpec.distance(0.03)
+        broker = QueryBroker()
+        free = broker.explain(JoinQuery(r, s, spec, buffer_size=BUFFER))
+        assert not free.overridden
+        assert free.algorithm == free.cheapest()
+        assert set(free.predicted) == set(SELECTABLE_ALGORITHMS)
+        assert all(v >= 0 for v in free.predicted.values())
+        forced = broker.explain(
+            JoinQuery(r, s, spec, algorithm="semijoin", buffer_size=BUFFER)
+        )
+        assert forced.overridden and forced.algorithm == "semijoin"
+        assert set(forced.predicted) == set(SELECTABLE_ALGORITHMS)
+
+    def test_planner_selected_query_matches_standalone(self):
+        r, s = _datasets()
+        spec = JoinSpec.distance(0.03)
+        broker = QueryBroker()
+        query = JoinQuery(r, s, spec, buffer_size=BUFFER)
+        (outcome,) = broker.run_batch([query])
+        assert outcome.algorithm in SELECTABLE_ALGORITHMS
+        assert not outcome.plan.overridden
+        _assert_identical(outcome.result, _standalone(query, outcome.algorithm))
+
+    def test_unknown_algorithm_rejected_at_submission(self):
+        r, s = _datasets()
+        broker = QueryBroker()
+        with pytest.raises(ValueError):
+            broker.submit(JoinQuery(r, s, JoinSpec.intersection(), algorithm="bogus"))
+
+    def test_calibration_learns_measured_scale(self):
+        r, s = _datasets()
+        spec = JoinSpec.distance(0.03)
+        broker = QueryBroker(calibrate=True)
+        query = JoinQuery(r, s, spec, algorithm="upjoin", buffer_size=BUFFER)
+        before = broker.selector.factor("upjoin")
+        broker.run_batch([query])
+        after = broker.selector.factor("upjoin")
+        assert before == 1.0
+        assert after != 1.0
+        # The factor moved toward measured/raw-predicted -- with the raw
+        # prediction taken under the *query's* configuration (buffer 96),
+        # not the broker defaults.
+        raw = broker.selector.for_query(
+            broker.config, buffer_size=BUFFER, bucket_queries=False, grid_k=2
+        ).predict(spec, query.resolved_window(), len(r), len(s), calibrated=False)[
+            "upjoin"
+        ]
+        measured = _standalone(query, "upjoin").total_cost
+        assert after == pytest.approx(0.5 * 1.0 + 0.5 * measured / raw)
+
+
+class TestBrokerDeterminism:
+    def test_repeated_batches_identical(self):
+        r, s = _datasets()
+        spec = JoinSpec.distance(0.03)
+        queries = [
+            JoinQuery(r, s, spec, algorithm=name, buffer_size=BUFFER)
+            for name in ("upjoin", "srjoin", "mobijoin")
+        ]
+        first = QueryBroker(cache=False).run_batch(queries)
+        second = QueryBroker(cache=False).run_batch(queries)
+        for a, b in zip(first, second):
+            assert a.result.sorted_pairs() == b.result.sorted_pairs()
+            assert a.result.total_bytes == b.result.total_bytes
+            assert _trace_tuples(a.result) == _trace_tuples(b.result)
+
+    def test_submission_order_independent_per_query(self):
+        """Shuffled submission: every query still measures the same thing."""
+        r1, s1 = _datasets()
+        r2, s2 = _other_datasets()
+        base = [
+            JoinQuery(r1, s1, JoinSpec.distance(0.03), algorithm="upjoin", buffer_size=64),
+            JoinQuery(r2, s2, JoinSpec.distance(0.02), algorithm="srjoin", buffer_size=96),
+            JoinQuery(r1, s1, JoinSpec.intersection(), algorithm="mobijoin", buffer_size=128),
+            JoinQuery(r2, s2, JoinSpec.intersection(), algorithm="upjoin", buffer_size=96),
+        ]
+        reference: Dict[int, Tuple] = {}
+        for outcome in QueryBroker(cache=False).run_batch(base):
+            reference[id(outcome.query)] = (
+                outcome.result.sorted_pairs(),
+                outcome.result.total_bytes,
+                outcome.result.bytes_r,
+                outcome.result.bytes_s,
+                _trace_tuples(outcome.result),
+            )
+        for order_seed in (3, 4):
+            shuffled = list(base)
+            random.Random(order_seed).shuffle(shuffled)
+            for outcome in QueryBroker(cache=False).run_batch(shuffled):
+                key = id(outcome.query)
+                assert (
+                    outcome.result.sorted_pairs(),
+                    outcome.result.total_bytes,
+                    outcome.result.bytes_r,
+                    outcome.result.bytes_s,
+                    _trace_tuples(outcome.result),
+                ) == reference[key]

@@ -225,6 +225,23 @@ class TestClosedFormReplay:
             link.estimate_channel_time(channel), rel=1e-12
         )
 
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_estimate_closed_form_matches_scalar_walk(self, seed):
+        # estimate_channel_time defaults to the NumPy closed form; the
+        # per-record scalar walk is the reference it is pinned against
+        # (within float tolerance -- only the summation order differs).
+        link = WifiLinkModel()
+        for channel in self._traffic_channels(seed):
+            fast = link.estimate_channel_time(channel)
+            reference = link.estimate_channel_time(channel, method="scalar")
+            assert fast == pytest.approx(reference, rel=1e-12, abs=1e-15)
+
+    def test_estimate_unknown_method_rejected(self):
+        link = WifiLinkModel()
+        channel = self._traffic_channels(4)[0]
+        with pytest.raises(ValueError):
+            link.estimate_channel_time(channel, method="bogus")
+
     def test_empty_and_unknown_method(self):
         link = WifiLinkModel()
         assert link.simulate_channels([]) == 0.0
