@@ -1,9 +1,10 @@
 """Merge every per-PR speedup record into one machine-readable trajectory.
 
 Each perf-lane benchmark (``pytest -m perf benchmarks/``) writes its own
-``benchmarks/results/<name>_speedup.json`` record.  This script folds all
-of them into ``benchmarks/results/summary.json`` so the performance
-trajectory of the repository stays readable in one place::
+``benchmarks/results/<name>_speedup.json`` (or ``<name>_load.json``, for
+the sustained-throughput lane) record.  This script folds all of them into
+``benchmarks/results/summary.json`` so the performance trajectory of the
+repository stays readable in one place::
 
     PYTHONPATH=src python benchmarks/collect.py
 
@@ -48,10 +49,13 @@ def _headline_speedups(name: str, record: Dict) -> Dict[str, float]:
 
 
 def collect(results_dir: Path = RESULTS_DIR) -> Dict:
-    """Read every ``*_speedup.json`` record and assemble the summary."""
+    """Read every speedup/load record and assemble the summary."""
     records: Dict[str, Dict] = {}
     headline: Dict[str, float] = {}
-    for path in sorted(results_dir.glob("*_speedup.json")):
+    paths = set(results_dir.glob("*_speedup.json")) | set(
+        results_dir.glob("*_load.json")
+    )
+    for path in sorted(paths):
         try:
             record = json.loads(path.read_text())
         except json.JSONDecodeError as exc:

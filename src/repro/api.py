@@ -31,6 +31,7 @@ from repro.geometry.rect import Rect
 from repro.network.config import NetworkConfig
 from repro.server.server import SpatialServer
 from repro.service.broker import QueryBroker
+from repro.service.executor import QueryService
 from repro.service.query import JoinQuery, QueryOutcome
 
 __all__ = [
@@ -39,6 +40,7 @@ __all__ = [
     "JoinQuery",
     "QueryBroker",
     "QueryOutcome",
+    "QueryService",
     "available_algorithms",
     "batch_join",
     "quick_join",
@@ -126,6 +128,7 @@ def batch_join(
     queries: Sequence[JoinQuery],
     config: Optional[NetworkConfig] = None,
     max_wave: Optional[int] = None,
+    workers: Optional[int] = None,
     broker: Optional[QueryBroker] = None,
 ) -> List[QueryOutcome]:
     """Serve a batch of join queries through one query broker.
@@ -133,22 +136,31 @@ def batch_join(
     Each query is planned (cheapest predicted algorithm unless the query
     names one), deduplicated against identical queries, and executed in
     deterministic waves with the COUNT exchanges of co-scheduled queries
-    coalesced per server.  Outcomes arrive in submission order; each
+    coalesced per server.  ``workers`` > 0 advances the queries of each
+    wave on a thread pool between the coalesced barriers (0, the default,
+    is the inline serial path).  Outcomes arrive in submission order; each
     result is bit-identical to running the same query standalone through
-    :func:`quick_join` / :func:`~repro.core.planner.run_join`.
+    :func:`quick_join` / :func:`~repro.core.planner.run_join`, under any
+    worker count.
 
     Pass a ``broker`` to reuse its server builds, result cache and
     calibration state across several batches.  A passed broker carries its
-    own configuration, so combining it with ``config``/``max_wave`` is an
-    error rather than a silent override.
+    own configuration, so combining it with ``config``/``max_wave``/
+    ``workers`` is an error rather than a silent override.  For
+    continuous (non-batch) admission use :class:`repro.api.QueryService`.
     """
     if broker is not None:
-        if config is not None or max_wave is not None:
+        if config is not None or max_wave is not None or workers is not None:
             raise ValueError(
-                "pass either a pre-built broker or config/max_wave, not both"
+                "pass either a pre-built broker or config/max_wave/workers, "
+                "not both"
             )
         return broker.run_batch(queries)
-    kwargs = {} if max_wave is None else {"max_wave": max_wave}
+    kwargs = {}
+    if max_wave is not None:
+        kwargs["max_wave"] = max_wave
+    if workers is not None:
+        kwargs["workers"] = workers
     return QueryBroker(config=config, **kwargs).run_batch(queries)
 
 

@@ -1,17 +1,29 @@
 """The multi-tenant query service.
 
-A thin serving layer over the join substrate: :class:`JoinQuery` describes
-one client request, :class:`QueryBroker` plans it (calibrated cost-model
+A serving layer over the join substrate: :class:`JoinQuery` describes one
+client request, :class:`QueryBroker` plans it (calibrated cost-model
 front-end with explicit-algorithm override), admits it in deterministic
 waves, deduplicates it through the :class:`~repro.service.cache.ResultCache`
-and executes it cooperatively on the shared frontier engine -- coalescing
-the COUNT exchanges of all in-flight queries per backing server while
-keeping every query's metering ledger isolated and bit-identical to a
-standalone run.
+(LRU, lock-guarded, results deep-frozen at insertion) and executes it
+cooperatively on the shared frontier engine -- coalescing the COUNT
+exchanges of all in-flight queries per backing server while keeping every
+query's metering ledger isolated and bit-identical to a standalone run.
+``QueryBroker(workers=N)`` advances the queries of a wave on a
+:class:`~repro.service.executor.WaveExecutor` thread pool between the
+coalesced barriers, and :class:`~repro.service.executor.QueryService` adds
+the asynchronous continuous-admission front-end (``submit``/``poll``/
+``result`` or callbacks) that turns the broker into a sustained-throughput
+server under open-loop load.
 """
 
 from repro.service.broker import BrokerStats, QueryBroker
-from repro.service.cache import ResultCache, dataset_token, query_key
+from repro.service.cache import (
+    ResultCache,
+    dataset_token,
+    freeze_result,
+    query_key,
+)
+from repro.service.executor import QueryService, WaveExecutor, audit_ledger_isolation
 from repro.service.query import JoinQuery, QueryOutcome
 
 __all__ = [
@@ -19,7 +31,11 @@ __all__ = [
     "JoinQuery",
     "QueryBroker",
     "QueryOutcome",
+    "QueryService",
     "ResultCache",
+    "WaveExecutor",
+    "audit_ledger_isolation",
     "dataset_token",
+    "freeze_result",
     "query_key",
 ]

@@ -33,14 +33,26 @@ buffer sizes -- and
    to running the query alone -- under any submission order, with the
    cache cold or warm (pinned by ``tests/test_service_equivalence.py``).
 
+   With ``workers >= 1`` the per-query advances *between* the coalesced
+   exchanges -- operator leaves, window/range downloads, trace assembly --
+   run on a :class:`~repro.service.executor.WaveExecutor` thread pool: the
+   leaves of different in-flight queries are independent per query (each
+   touches only its own audited session stack), so only the per-(server,
+   round) COUNT descent remains a rendezvous, evaluated once per round on
+   the coordinating thread in submission order.  ``workers=0`` (default)
+   is the inline serial path and stays the pinned bit-identity reference;
+   the pooled path is pinned against it by the same equivalence suite.
+
 Algorithms without a coalescible execution (the naive/fixed-grid
 comparators, SemiJoin, or ``execution="recursive"`` overrides) still run
 through the broker on their own isolated stacks; they simply contribute no
-shared rounds.
+shared rounds (their whole execution happens in the priming advance, which
+the pool runs concurrently with other queries' priming).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
@@ -52,6 +64,7 @@ from repro.network.config import NetworkConfig
 from repro.server.remote import ServerPair
 from repro.server.server import SpatialServer
 from repro.service.cache import ResultCache, dataset_token, query_key
+from repro.service.executor import WaveExecutor, audit_ledger_isolation
 from repro.service.query import JoinQuery, QueryOutcome
 
 __all__ = ["BrokerStats", "QueryBroker"]
@@ -60,7 +73,13 @@ __all__ = ["BrokerStats", "QueryBroker"]
 @dataclass
 class BrokerStats:
     """Service-level accounting (metering of the joins themselves stays on
-    each query's own channels)."""
+    each query's own channels).
+
+    Counter updates go through :meth:`bump`, which holds the stats lock:
+    the async service lane increments ``queries_submitted`` from client
+    threads while the admission thread advances the wave counters, so
+    plain unguarded ``+=`` would drop updates.
+    """
 
     queries_submitted: int = 0
     queries_executed: int = 0
@@ -75,8 +94,22 @@ class BrokerStats:
     #: COUNT windows answered through coalesced exchanges.
     coalesced_count_queries: int = 0
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def bump(self, **deltas: int) -> None:
+        """Atomically add the given deltas to the named counters."""
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
     def as_dict(self) -> Dict[str, int]:
-        return dict(self.__dict__)
+        with self._lock:
+            return {
+                key: value
+                for key, value in self.__dict__.items()
+                if not key.startswith("_")
+            }
 
 
 @dataclass
@@ -134,6 +167,12 @@ class QueryBroker:
         into the selector's calibration factors *after* its batch
         finishes.  Off by default so that plan selection -- and therefore
         every result -- is independent of submission order.
+    workers:
+        Size of the wave executor's thread pool.  ``0`` (default) advances
+        every query inline on the executing thread -- the pinned serial
+        reference.  ``>= 1`` advances the queries of a wave concurrently
+        between the coalesced COUNT barriers; results are bit-identical
+        under any worker count.
     index_fanout:
         Fanout of server indexes built by the broker's server cache.
     """
@@ -145,6 +184,7 @@ class QueryBroker:
         cache: object = True,
         selector: Optional[CalibratedCostModel] = None,
         calibrate: bool = False,
+        workers: int = 0,
         index_fanout: int = 16,
     ) -> None:
         if max_wave < 1:
@@ -158,9 +198,18 @@ class QueryBroker:
         else:
             self.cache = ResultCache(enabled=bool(cache), max_entries=4096)
         self.selector = selector or CalibratedCostModel(self.config)
+        self.executor = WaveExecutor(workers)
         self.stats = BrokerStats()
+        # Guards the submission queue and the server-build cache: the async
+        # service lane submits from client threads while the admission
+        # thread executes.
+        self._lock = threading.RLock()
         self._pending: List[_Admitted] = []
         self._servers: Dict[Tuple, Tuple[SpatialServer, SpatialServer]] = {}
+
+    @property
+    def workers(self) -> int:
+        return self.executor.workers
 
     def clear_caches(self) -> None:
         """Release the result cache and the cached server builds.
@@ -170,7 +219,8 @@ class QueryBroker:
         explicit release valve when the dataset population rotates.
         """
         self.cache.clear()
-        self._servers.clear()
+        with self._lock:
+            self._servers.clear()
 
     # ------------------------------------------------------------------ #
     # planning
@@ -213,14 +263,13 @@ class QueryBroker:
         """
         # explain() -> select_algorithm() rejects unknown algorithm names.
         plan = self.explain(query)
-        entry = _Admitted(
-            index=len(self._pending),
-            query=query,
-            plan=plan,
-            key=query_key(query, plan.algorithm, self.config),
-        )
-        self._pending.append(entry)
-        self.stats.queries_submitted += 1
+        key = query_key(query, plan.algorithm, self.config)
+        with self._lock:
+            entry = _Admitted(
+                index=len(self._pending), query=query, plan=plan, key=key
+            )
+            self._pending.append(entry)
+        self.stats.bump(queries_submitted=1)
         return entry.index
 
     def submit_all(self, queries: Sequence[JoinQuery]) -> List[int]:
@@ -248,7 +297,8 @@ class QueryBroker:
         mid-wave the whole batch is discarded rather than left to leak
         into the next :meth:`execute` call.
         """
-        batch, self._pending = self._pending, []
+        with self._lock:
+            batch, self._pending = self._pending, []
         pending, leaders, followers = self._admit(batch)
         waves = [
             pending[i : i + self.max_wave]
@@ -258,6 +308,9 @@ class QueryBroker:
             self._execute_wave(wave, wave_index)
             for entry in wave:
                 assert entry.result is not None
+                # put() deep-freezes the result in place (same object), so
+                # the outcome below and every later cache hit share one
+                # immutable result.
                 self.cache.put(entry.key, entry.result)
                 entry.outcome = QueryOutcome(
                     query=entry.query,
@@ -267,8 +320,7 @@ class QueryBroker:
                     wave=wave_index,
                     ledger_fingerprints=entry.fingerprints,
                 )
-            self.stats.waves += 1
-            self.stats.queries_executed += len(wave)
+            self.stats.bump(waves=1, queries_executed=len(wave))
         # Followers share their leader's result (one execution per key).
         for entry in followers:
             leader = leaders[entry.key]
@@ -280,7 +332,7 @@ class QueryBroker:
                 cached=True,
                 wave=leader.outcome.wave,
             )
-            self.stats.cache_hits += 1
+            self.stats.bump(cache_hits=1)
         outcomes = []
         for entry in sorted(batch, key=lambda e: e.index):
             assert entry.outcome is not None
@@ -319,7 +371,7 @@ class QueryBroker:
                     cached=True,
                     wave=-1,
                 )
-                self.stats.cache_hits += 1
+                self.stats.bump(cache_hits=1)
                 continue
             if entry.key in leaders:
                 followers.append(entry)
@@ -337,24 +389,39 @@ class QueryBroker:
             dataset_token(query.dataset_s),
             self.index_fanout,
         )
-        pair = self._servers.get(key)
-        if pair is None:
-            pair = (
-                SpatialServer(
-                    query.dataset_r.rename("R"), name="R", index_fanout=self.index_fanout
-                ),
-                SpatialServer(
-                    query.dataset_s.rename("S"), name="S", index_fanout=self.index_fanout
-                ),
-            )
-            self._servers[key] = pair
+        with self._lock:
+            pair = self._servers.get(key)
+            if pair is None:
+                pair = (
+                    SpatialServer(
+                        query.dataset_r.rename("R"), name="R", index_fanout=self.index_fanout
+                    ),
+                    SpatialServer(
+                        query.dataset_s.rename("S"), name="S", index_fanout=self.index_fanout
+                    ),
+                )
+                self._servers[key] = pair
         return pair
+
+    @staticmethod
+    def _prime_snapshot(base: SpatialServer) -> None:
+        """Force-build the server's flattened index snapshot.
+
+        The snapshot is otherwise built lazily by the first batch query.
+        With pooled advances that first query may come from several worker
+        threads at once; building it here, on the coordinating thread
+        before the wave fans out, keeps the shared read-only structures
+        truly read-only during concurrent execution.
+        """
+        base.index.rtree.flat_view()
 
     def _build_stack(self, entry: _Admitted) -> None:
         """One isolated session stack per query: statistics views of the
         cached servers, fresh metered channels, a fresh device."""
         query = entry.query
         base_r, base_s = self._base_servers(query)
+        self._prime_snapshot(base_r)
+        self._prime_snapshot(base_s)
         entry.base_r, entry.base_s = base_r, base_s
         algorithm = entry.plan.algorithm
         pair = ServerPair.connect(
@@ -380,18 +447,45 @@ class QueryBroker:
             entry.pending = None
             entry.result = stop.value
 
+    @staticmethod
+    def _attribute_and_advance(
+        entry: _Admitted, answers_for: Dict[Tuple[int, str], List[int]]
+    ) -> None:
+        """Book one query's share of a coalesced round, then advance it."""
+        answers: Dict[str, List[int]] = {}
+        for server_name, rects in entry.pending.items():
+            if rects:
+                answers[server_name] = entry.device.count_windows_prefetched(
+                    server_name,
+                    rects,
+                    answers_for[(id(entry), server_name)],
+                )
+            else:
+                answers[server_name] = []
+        QueryBroker._advance(entry, answers)
+
     def _execute_wave(self, wave: List[_Admitted], wave_index: int) -> None:
-        """Drive all queries of one wave in lock-step coalesced rounds."""
-        active: List[_Admitted] = []
+        """Drive all queries of one wave in lock-step coalesced rounds.
+
+        The per-query advances between rounds -- priming, leaf operators,
+        attribution -- fan out over the wave executor (inline when
+        ``workers=0``); the coalesced COUNT evaluation stays on this
+        thread, gathered and answered in submission order, so it is both
+        the physical rendezvous and the determinism barrier.
+        """
         for entry in wave:
             self._build_stack(entry)
-            # Priming runs non-cooperative queries to completion on their
-            # own stack; frontier queries stop at their first COUNT round.
-            self._advance(entry, None)
-            if entry.pending is not None:
-                active.append(entry)
+        if self.executor.workers:
+            # Concurrent advances must never share mutable session state;
+            # refuse the wave rather than corrupt ledgers silently.
+            audit_ledger_isolation([entry.device for entry in wave])
+        # Priming runs non-cooperative queries to completion on their own
+        # stack; frontier queries stop at their first COUNT round.
+        self.executor.map(lambda entry: self._advance(entry, None), wave)
+        active = [entry for entry in wave if entry.pending is not None]
         while active:
-            # Gather: one group per backing server across all active queries.
+            # Gather: one group per backing server across all active
+            # queries, in submission order (coordinating thread only).
             groups: Dict[int, _Group] = {}
             for entry in active:
                 for server_name, rects in entry.pending.items():
@@ -401,34 +495,27 @@ class QueryBroker:
                     group = groups.setdefault(id(base), _Group(base))
                     group.slices.append((entry, server_name, len(group.windows), len(rects)))
                     group.windows.extend(rects)
-            # Evaluate: one batched snapshot descent per backing server.
+            # Evaluate: one batched snapshot descent per backing server --
+            # the shared rendezvous every worker barriers on.
             answers_for: Dict[Tuple[int, str], List[int]] = {}
             for group in groups.values():
                 values = group.base.index.count_batch(group.windows)
-                self.stats.coalesced_exchanges += 1
-                self.stats.coalesced_count_queries += len(group.windows)
+                self.stats.bump(
+                    coalesced_exchanges=1,
+                    coalesced_count_queries=len(group.windows),
+                    standalone_exchanges=len(group.slices),
+                )
                 for entry, server_name, start, n in group.slices:
-                    self.stats.standalone_exchanges += 1
                     answers_for[(id(entry), server_name)] = values[start : start + n]
-            # Attribute and advance, in submission order: each query books
-            # its own share on its own ledger, exactly as a standalone
-            # count_windows call would have.
-            still_active: List[_Admitted] = []
-            for entry in active:
-                answers: Dict[str, List[int]] = {}
-                for server_name, rects in entry.pending.items():
-                    if rects:
-                        answers[server_name] = entry.device.count_windows_prefetched(
-                            server_name,
-                            rects,
-                            answers_for[(id(entry), server_name)],
-                        )
-                    else:
-                        answers[server_name] = []
-                self._advance(entry, answers)
-                if entry.pending is not None:
-                    still_active.append(entry)
-            active = still_active
+            # Attribute and advance: each query books its own share on its
+            # own ledger, exactly as a standalone count_windows call would
+            # have.  The answer slices are fixed before the fan-out, and
+            # every advance touches only query-private state, so the pool's
+            # scheduling cannot influence any query's measurements.
+            self.executor.map(
+                lambda entry: self._attribute_and_advance(entry, answers_for), active
+            )
+            active = [entry for entry in active if entry.pending is not None]
         for entry in wave:
             # Keep the ledger digest for provenance, then release the
             # per-query execution state (results are kept).

@@ -5,7 +5,9 @@ content-derived key covering everything that determines a join's pairs and
 bytes:
 
 * the two datasets (name, cardinality and a digest of the MBR/oid arrays
-  -- two dataset *objects* holding the same rows share cache entries),
+  -- two dataset *objects* holding the same rows share cache entries; the
+  digest covers dtype and shape as well as the raw bytes, so two arrays
+  that merely serialize to the same byte string never collide),
 * the join spec,
 * the algorithm that actually runs (post plan-selection) and its
   execution-mode override,
@@ -18,20 +20,125 @@ immutable, their arrays write-locked at construction -- the same idiom as
 dataset rather than once per query.
 
 Cache hits return the *same* :class:`~repro.core.result.JoinResult` object
-the original execution produced; results are treated as immutable once
-assembled.
+the original execution produced -- but that object is **deep-frozen** at
+:meth:`ResultCache.put`: its pair set becomes a ``frozenset`` and its
+mutable containers become read-only views that raise on mutation
+(:func:`freeze_result`).  One caller mutating a hit can therefore never
+poison what the next caller is served.
+
+The cache is safe to share between the broker's pooled wave executor and
+any number of client threads: ``get``/``put``/``clear`` and the
+hit/miss/eviction counters are guarded by one lock, and eviction is LRU --
+a hit refreshes an entry's recency (``OrderedDict.move_to_end``), so a hot
+result survives a long tail of one-shot queries.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Optional, Tuple
+import threading
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+import numpy as np
 
 from repro.core.result import JoinResult
 from repro.datasets.dataset import SpatialDataset
 from repro.service.query import JoinQuery
 
-__all__ = ["ResultCache", "dataset_token", "query_key"]
+__all__ = [
+    "FrozenDict",
+    "FrozenList",
+    "ResultCache",
+    "dataset_token",
+    "freeze_result",
+    "query_key",
+]
+
+
+# --------------------------------------------------------------------------- #
+# read-only containers + result freezing
+# --------------------------------------------------------------------------- #
+
+
+def _refuse_mutation(self, *args, **kwargs):
+    raise TypeError(
+        f"{type(self).__name__} belongs to a cached JoinResult and is "
+        "read-only; copy it before modifying"
+    )
+
+
+class FrozenList(list):
+    """A list that raises on every mutating operation.
+
+    Unlike a tuple it still *equals* the plain list a standalone execution
+    produces (``FrozenList([1]) == [1]``), which is what lets the
+    equivalence suite compare cached results field-for-field against
+    uncached references.
+    """
+
+    __setitem__ = __delitem__ = _refuse_mutation
+    append = extend = insert = remove = pop = clear = _refuse_mutation
+    sort = reverse = __iadd__ = __imul__ = _refuse_mutation
+
+
+class FrozenDict(dict):
+    """A dict that raises on every mutating operation (equality preserved)."""
+
+    __setitem__ = __delitem__ = _refuse_mutation
+    update = pop = popitem = clear = setdefault = __ior__ = _refuse_mutation
+
+
+def _freeze_stats(mapping) -> FrozenDict:
+    return FrozenDict(
+        (key, FrozenDict(value) if isinstance(value, dict) else value)
+        for key, value in mapping.items()
+    )
+
+
+def freeze_result(result: JoinResult) -> JoinResult:
+    """Deep-freeze a result in place; returns the same object.
+
+    Every container field is replaced by a read-only equivalent that still
+    compares equal to its mutable twin: ``pairs`` becomes a ``frozenset``
+    (``==`` against a plain set holds), lists become :class:`FrozenList`,
+    dicts become :class:`FrozenDict` (nested one level for the per-server
+    stats).  Freezing in place keeps object identity: the outcome handed to
+    the executing query and every later cache hit share one immutable
+    result, so ``hit.result is original.result`` stays true while
+    ``hit.result.pairs.add(...)`` (and friends) raise instead of silently
+    corrupting all future hits.  Idempotent.
+    """
+    if getattr(result, "_frozen", False):
+        return result
+    result.pairs = frozenset(result.pairs)
+    result.objects = FrozenList(result.objects)
+    result.operator_counts = FrozenDict(result.operator_counts)
+    result.server_stats = _freeze_stats(result.server_stats)
+    result.channel_stats = _freeze_stats(result.channel_stats)
+    result.trace = FrozenList(result.trace)
+    result._frozen = True
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# content-derived keys
+# --------------------------------------------------------------------------- #
+
+
+def _array_digest(arr: np.ndarray) -> str:
+    """SHA-1 of one array's dtype, shape *and* bytes.
+
+    Hashing ``tobytes()`` alone would let two arrays with identical byte
+    strings but different dtype or shape (e.g. 4 float64 zeros vs 8
+    float32 zeros) share a digest -- a cache-poisoning collision once the
+    digest feeds a result-cache key.
+    """
+    h = hashlib.sha1()
+    h.update(str(arr.dtype.str).encode("ascii"))
+    h.update(repr(tuple(arr.shape)).encode("ascii"))
+    h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
 
 
 def dataset_token(dataset: SpatialDataset) -> Tuple:
@@ -39,15 +146,17 @@ def dataset_token(dataset: SpatialDataset) -> Tuple:
 
     ``(name, n, digest(mbrs), digest(oids))`` -- stable across dataset
     objects holding the same rows, memoised on the (immutable) dataset so
-    each one is digested once.
+    each one is digested once.  The digests cover dtype and shape, not just
+    the raw bytes.  The memo write is an idempotent benign race under
+    concurrent submitters: both threads compute the same token.
     """
     token = dataset.__dict__.get("_service_token_cache")
     if token is None:
         token = (
             dataset.name,
             len(dataset),
-            hashlib.sha1(dataset.mbrs.tobytes()).hexdigest(),
-            hashlib.sha1(dataset.oids.tobytes()).hexdigest(),
+            _array_digest(dataset.mbrs),
+            _array_digest(dataset.oids),
         )
         object.__setattr__(dataset, "_service_token_cache", token)
     return token
@@ -74,13 +183,19 @@ def query_key(query: JoinQuery, algorithm: str, default_config) -> Tuple:
     )
 
 
-class ResultCache:
-    """A keyed store of finished join results with hit/miss accounting.
+# --------------------------------------------------------------------------- #
+# the cache proper
+# --------------------------------------------------------------------------- #
 
-    ``max_entries`` bounds the store for long-lived brokers: when full,
-    the oldest entry is evicted first (insertion order -- results are
-    immutable, so recency bookkeeping would buy little over FIFO here).
-    ``None`` means unbounded.
+
+class ResultCache:
+    """A keyed LRU store of finished join results with hit/miss accounting.
+
+    ``max_entries`` bounds the store for long-lived brokers: when full, the
+    least-recently-*used* entry is evicted (a hit refreshes recency, so a
+    hot result outlives any number of one-shot queries).  ``None`` means
+    unbounded.  All operations and counters are lock-guarded, so one cache
+    can back the pooled wave executor and concurrent service submitters.
     """
 
     def __init__(self, enabled: bool = True, max_entries: Optional[int] = None) -> None:
@@ -91,35 +206,52 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
-        self._entries: Dict[Tuple, JoinResult] = {}
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple, JoinResult]" = OrderedDict()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: Tuple) -> Optional[JoinResult]:
         if not self.enabled:
             return None
-        result = self._entries.get(key)
-        if result is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-        return result
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+                self._entries.move_to_end(key)
+            return result
 
-    def put(self, key: Tuple, result: JoinResult) -> None:
+    def put(self, key: Tuple, result: JoinResult) -> JoinResult:
+        """Freeze and store one result; returns the (frozen) result.
+
+        Results are deep-frozen *before* insertion -- every later hit
+        aliases the stored object, so the store must never hand out
+        anything mutable.  Re-putting an existing key refreshes its recency
+        and replaces the value without counting an eviction; ``evictions``
+        counts exactly the entries dropped by the size bound.
+        """
         if not self.enabled:
-            return
-        if (
-            self.max_entries is not None
-            and key not in self._entries
-            and len(self._entries) >= self.max_entries
-        ):
-            self._entries.pop(next(iter(self._entries)))
-            self.evictions += 1
-        self._entries[key] = result
+            return result
+        frozen = freeze_result(result)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            elif (
+                self.max_entries is not None
+                and len(self._entries) >= self.max_entries
+            ):
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            self._entries[key] = frozen
+        return frozen
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0

@@ -1,0 +1,367 @@
+"""Wave-level parallel execution and the sustained-throughput service lane.
+
+Two pieces turn the batch-oriented :class:`~repro.service.broker.QueryBroker`
+into a server:
+
+* :class:`WaveExecutor` -- a bounded worker pool over the per-query
+  generator advances of one wave.  The operator-leaf executions (HBSJ/NLSJ
+  batches, window/range downloads) of different in-flight queries are
+  independent per query: each runs on its own device, its own metered
+  channels and its own statistics views of the shared server build.  Only
+  the per-(server, round) coalesced COUNT descent is a shared rendezvous,
+  so the broker advances all queries of a round concurrently and
+  barriers at the exchange.  ``workers=0`` is the inline serial path --
+  the pinned bit-identity reference.  Before pooling a wave the executor
+  *audits* ledger isolation: every query's device, buffer, channels and
+  statistics objects must be private to that query (sharing the read-only
+  base servers is fine); aliased state would turn concurrent advances into
+  data races, so it is rejected up front rather than left to corrupt
+  ledgers silently.
+
+* :class:`QueryService` -- an asynchronous continuous-admission front-end:
+  ``submit()`` enqueues a query and returns a ticket immediately,
+  ``poll()``/``result()`` (or a per-query callback) observe completion.
+  A background admission loop drains up to ``max_wave`` queued queries per
+  cycle and executes them as one broker wave, so arrivals during an
+  executing wave accumulate into the next one -- under open-loop load the
+  broker behaves like a server (backlog coalesces into bigger, cheaper
+  waves) instead of a batch executor that blocks admission while running.
+
+Determinism: pooled advances only ever touch query-private state between
+barriers, and every coalesced exchange is gathered and answered in
+submission order on the coordinating thread, so results are bit-identical
+to ``workers=0`` under any worker count and any arrival interleaving
+(pinned by ``tests/test_service_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.service.query import JoinQuery, QueryOutcome
+
+__all__ = ["QueryService", "WaveExecutor", "audit_ledger_isolation"]
+
+
+def audit_ledger_isolation(devices: Sequence) -> None:
+    """Verify the per-query session stacks of one wave are disjoint.
+
+    Every mutable object a pooled advance writes to -- the device, its
+    buffer and operator counters, both remote-server views, their metered
+    channels and their per-query statistics -- must belong to exactly one
+    query.  The shared base servers (datasets, index snapshots) are
+    deliberately *not* audited: they are read-only during a join and
+    sharing them is the whole point of the service.  Raises ``RuntimeError``
+    naming the aliased component, because executing such a wave on a pool
+    would corrupt ledgers nondeterministically.
+    """
+    seen: Dict[int, str] = {}
+    for position, device in enumerate(devices):
+        components = {
+            "device": device,
+            "buffer": device.buffer,
+            "operator counters": device.counts,
+            "server view R": device.servers.r,
+            "server view S": device.servers.s,
+            "channel R": device.servers.r.channel,
+            "channel S": device.servers.s.channel,
+            "server stats R": device.servers.r.backing_server.stats,
+            "server stats S": device.servers.s.backing_server.stats,
+        }
+        for label, obj in components.items():
+            owner = seen.setdefault(id(obj), f"query #{position}")
+            if owner != f"query #{position}":
+                raise RuntimeError(
+                    f"ledger isolation violated: {label} of query #{position} "
+                    f"is aliased with state of {owner}; refusing to execute "
+                    "the wave on a worker pool"
+                )
+
+
+class WaveExecutor:
+    """A bounded thread pool with deterministic, order-preserving fan-out.
+
+    ``workers=0`` executes inline on the calling thread (the serial
+    reference path); ``workers>=1`` lazily creates one
+    :class:`~concurrent.futures.ThreadPoolExecutor` and reuses it across
+    waves.  :meth:`map` always waits for *every* task before returning
+    (the wave barrier) and re-raises the first failure in item order, so
+    error behaviour does not depend on scheduling.
+    """
+
+    def __init__(self, workers: int = 0) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0 (0 = inline serial execution)")
+        self.workers = int(workers)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    def map(self, fn: Callable, items: Sequence) -> None:
+        """Run ``fn(item)`` for every item; barrier until all complete.
+
+        Items are dispatched as one contiguous chunk per worker (not one
+        future per item): a wave's advances are many and individually
+        short, so per-future dispatch overhead would eat the coalescing
+        win the pool exists to preserve.  A chunk stops at its first
+        failing item -- mirroring the inline path -- and the error raised
+        is always the failure with the lowest item index, so error
+        behaviour does not depend on scheduling.
+        """
+        if self.workers == 0 or len(items) <= 1:
+            for item in items:
+                fn(item)
+            return
+        pool = self._ensure_pool()
+        chunks = max(1, min(self.workers, len(items)))
+        step = -(-len(items) // chunks)
+        bounds = [(start, items[start : start + step])
+                  for start in range(0, len(items), step)]
+
+        def run_chunk(start: int, chunk: Sequence):
+            for offset, item in enumerate(chunk):
+                try:
+                    fn(item)
+                except BaseException as error:  # noqa: BLE001 -- re-raised below
+                    return (start + offset, error)
+            return None
+
+        # Wait for the full wave even when an early item fails: later
+        # advances must not leak into the next round's gather.
+        futures = [pool.submit(run_chunk, start, chunk) for start, chunk in bounds]
+        failures = [f.result() for f in futures]
+        failures = [entry for entry in failures if entry is not None]
+        if failures:
+            raise min(failures)[1]
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-wave"
+                )
+            return self._pool
+
+    def close(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+
+# --------------------------------------------------------------------------- #
+# the asynchronous service lane
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class _Ticket:
+    """Service-internal state of one asynchronous submission."""
+
+    index: int
+    query: JoinQuery
+    callback: Optional[Callable[[QueryOutcome], None]]
+    submitted_at: float
+    done: threading.Event = field(default_factory=threading.Event)
+    outcome: Optional[QueryOutcome] = None
+    error: Optional[BaseException] = None
+
+
+class QueryService:
+    """Continuous-admission asynchronous front-end over one broker.
+
+    Parameters
+    ----------
+    broker:
+        A pre-built :class:`~repro.service.broker.QueryBroker` to serve
+        through (its ``workers``, cache and calibration state apply), or
+        ``None`` to build one from the remaining keyword arguments.
+    config, workers, max_wave, cache, calibrate:
+        Forwarded to the broker constructor when ``broker`` is ``None``;
+        combining them with a pre-built broker is an error rather than a
+        silent override.
+
+    Usage::
+
+        with QueryService(workers=4) as service:
+            tickets = [service.submit(q) for q in queries]   # non-blocking
+            outcomes = [service.result(t) for t in tickets]  # blocks per query
+
+    ``submit`` may be called from any number of client threads; admission
+    is strictly FIFO in submission order.  The background loop drains up to
+    ``max_wave`` tickets per cycle into one broker batch, so queries that
+    arrive while a wave is executing coalesce into the next wave -- the
+    open-loop serving win.  Each outcome is stamped with its ticket and its
+    measured submission-to-completion latency before ``result``/``poll``
+    observe it (and before the callback fires, on the service thread).
+    """
+
+    def __init__(
+        self,
+        broker=None,
+        *,
+        config=None,
+        workers: Optional[int] = None,
+        max_wave: Optional[int] = None,
+        cache: object = True,
+        calibrate: bool = False,
+    ) -> None:
+        from repro.service.broker import QueryBroker  # deferred: avoid cycle
+
+        if broker is not None:
+            if config is not None or workers is not None or max_wave is not None:
+                raise ValueError(
+                    "pass either a pre-built broker or "
+                    "config/workers/max_wave, not both"
+                )
+            self.broker = broker
+        else:
+            kwargs: Dict[str, object] = {"cache": cache, "calibrate": calibrate}
+            if config is not None:
+                kwargs["config"] = config
+            if workers is not None:
+                kwargs["workers"] = workers
+            if max_wave is not None:
+                kwargs["max_wave"] = max_wave
+            self.broker = QueryBroker(**kwargs)
+        self._wake = threading.Condition()
+        self._queue: "deque[_Ticket]" = deque()
+        self._tickets: Dict[int, _Ticket] = {}
+        self._next_ticket = 0
+        self._unfinished = 0
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._serve_loop, name="repro-service-admission", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------ #
+    # client surface
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self,
+        query: JoinQuery,
+        callback: Optional[Callable[[QueryOutcome], None]] = None,
+    ) -> int:
+        """Enqueue one query; returns its ticket immediately.
+
+        ``callback``, when given, fires on the service thread with the
+        stamped :class:`~repro.service.query.QueryOutcome` as soon as the
+        query's wave completes (before any ``result()`` waiter wakes).
+        """
+        with self._wake:
+            if self._closed:
+                raise RuntimeError("QueryService is closed")
+            ticket = _Ticket(
+                index=self._next_ticket,
+                query=query,
+                callback=callback,
+                submitted_at=time.perf_counter(),
+            )
+            self._next_ticket += 1
+            self._tickets[ticket.index] = ticket
+            self._queue.append(ticket)
+            self._unfinished += 1
+            self._wake.notify_all()
+        return ticket.index
+
+    def submit_all(self, queries: Sequence[JoinQuery]) -> List[int]:
+        return [self.submit(query) for query in queries]
+
+    def poll(self, ticket: int) -> bool:
+        """True when the ticket's outcome (or failure) is available."""
+        return self._ticket(ticket).done.is_set()
+
+    def result(self, ticket: int, timeout: Optional[float] = None) -> QueryOutcome:
+        """Block until the ticket completes; returns its outcome.
+
+        Re-raises the execution error if the query's batch failed.  The
+        ticket is released on successful collection; collecting it twice
+        raises ``KeyError``.
+        """
+        entry = self._ticket(ticket)
+        if not entry.done.wait(timeout):
+            raise TimeoutError(f"ticket {ticket} not completed within {timeout}s")
+        with self._wake:
+            self._tickets.pop(ticket, None)
+        if entry.error is not None:
+            raise entry.error
+        assert entry.outcome is not None
+        return entry.outcome
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until every submitted query has completed (or failed)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._wake:
+            while self._unfinished:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(
+                        f"{self._unfinished} queries still in flight after {timeout}s"
+                    )
+                self._wake.wait(remaining)
+
+    def close(self, wait: bool = True) -> None:
+        """Stop admitting; finish the queued work, then stop the loop."""
+        with self._wake:
+            self._closed = True
+            self._wake.notify_all()
+        if wait:
+            self._thread.join()
+            self.broker.executor.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close(wait=True)
+
+    # ------------------------------------------------------------------ #
+    # the admission loop
+    # ------------------------------------------------------------------ #
+
+    def _ticket(self, ticket: int) -> _Ticket:
+        with self._wake:
+            return self._tickets[ticket]
+
+    def _serve_loop(self) -> None:
+        max_wave = self.broker.max_wave
+        while True:
+            with self._wake:
+                while not self._queue and not self._closed:
+                    self._wake.wait()
+                if not self._queue:
+                    return  # closed and fully drained
+                batch = [
+                    self._queue.popleft()
+                    for _ in range(min(max_wave, len(self._queue)))
+                ]
+            try:
+                outcomes = self.broker.run_batch([t.query for t in batch])
+            except BaseException as error:  # noqa: BLE001 -- forwarded to waiters
+                self._publish_failure(batch, error)
+                continue
+            completed_at = time.perf_counter()
+            for ticket, outcome in zip(batch, outcomes):
+                outcome.ticket = ticket.index
+                outcome.service_latency_s = completed_at - ticket.submitted_at
+                ticket.outcome = outcome
+                self._finish(ticket)
+
+    def _publish_failure(self, batch: List[_Ticket], error: BaseException) -> None:
+        for ticket in batch:
+            ticket.error = error
+            self._finish(ticket)
+
+    def _finish(self, ticket: _Ticket) -> None:
+        ticket.done.set()
+        if ticket.callback is not None and ticket.outcome is not None:
+            ticket.callback(ticket.outcome)
+        with self._wake:
+            self._unfinished -= 1
+            self._wake.notify_all()

@@ -90,10 +90,20 @@ class JoinQuery:
             raise ValueError("buffer_size must be positive")
 
     def resolved_window(self) -> Rect:
-        """The joined region (defaults to the union MBR of both datasets)."""
+        """The joined region (defaults to the union MBR of both datasets).
+
+        The default-window computation is memoised on the (frozen) query:
+        planning, cache-key derivation and wave execution all consult it,
+        possibly from different service threads, and must always see one
+        identical Rect object.
+        """
         if self.window is not None:
             return self.window
-        return self.dataset_r.bounds().union(self.dataset_s.bounds())
+        window = self.__dict__.get("_resolved_window_cache")
+        if window is None:
+            window = self.dataset_r.bounds().union(self.dataset_s.bounds())
+            object.__setattr__(self, "_resolved_window_cache", window)
+        return window
 
     def resolved_params(self) -> AlgorithmParameters:
         return self.params if self.params is not None else AlgorithmParameters()
@@ -119,6 +129,13 @@ class QueryOutcome:
     #: runs -- coalescing may share evaluations, never the attributed
     #: ledger.
     ledger_fingerprints: Optional[Tuple[Tuple, Tuple]] = None
+    #: Ticket of the asynchronous submission that produced this outcome
+    #: (:meth:`~repro.service.executor.QueryService.submit`); ``None`` for
+    #: synchronous ``run_batch`` outcomes.
+    ticket: Optional[int] = None
+    #: Submission-to-completion seconds measured by the service lane
+    #: (queueing + execution); ``None`` outside the async front-end.
+    service_latency_s: Optional[float] = None
 
     @property
     def algorithm(self) -> str:

@@ -1,0 +1,385 @@
+"""The service-lane additions: frozen cache hits, content-true dataset
+tokens, LRU eviction, the ledger-isolation audit and the asynchronous
+:class:`~repro.service.executor.QueryService` front-end.
+
+Companion to ``tests/test_service_equivalence.py`` (which pins broker
+results bit-for-bit against standalone runs, pooled and serial); this file
+pins the *correctness traps* the service fixes:
+
+* a cache hit aliases the stored result, so the stored result must be
+  deep-frozen -- mutating a hit raises instead of poisoning the next hit,
+* dataset tokens digest dtype and shape, not just raw bytes,
+* eviction is LRU with exact accounting,
+* a wave whose per-query ledgers alias each other is refused up front,
+* ``submit``/``poll``/``result``/callbacks behave like a server while
+  staying bit-identical to the synchronous batch path.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.join_types import JoinSpec
+from repro.core.planner import build_session_stack, run_join
+from repro.core.result import JoinResult
+from repro.datasets.synthetic import clustered
+from repro.service import (
+    JoinQuery,
+    QueryBroker,
+    QueryService,
+    ResultCache,
+    audit_ledger_isolation,
+    dataset_token,
+    freeze_result,
+)
+
+BUFFER = 96
+
+
+def _datasets():
+    return (
+        clustered(n=110, clusters=3, seed=11, name="R"),
+        clustered(n=110, clusters=4, seed=12, std=0.04, name="S"),
+    )
+
+
+def _query(r, s, algorithm="upjoin", **kwargs):
+    kwargs.setdefault("buffer_size", BUFFER)
+    return JoinQuery(r, s, JoinSpec.distance(0.03), algorithm=algorithm, **kwargs)
+
+
+def _standalone(query: JoinQuery, algorithm: str) -> JoinResult:
+    return run_join(
+        query.dataset_r,
+        query.dataset_s,
+        query.spec,
+        algorithm=algorithm,
+        buffer_size=query.buffer_size,
+        config=query.config,
+        params=query.params,
+        window=query.window,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# frozen cache hits
+# --------------------------------------------------------------------------- #
+
+
+class TestFrozenCacheHits:
+    def test_mutating_a_hit_cannot_poison_the_next_hit(self):
+        """The cache-aliasing trap: hits share one stored JoinResult.
+
+        Before deep-freezing, ``hit.result.pairs.add(...)`` would silently
+        corrupt what every later hit is served.  Now every mutation path
+        raises and the next hit still matches the standalone run bit for
+        bit.
+        """
+        r, s = _datasets()
+        broker = QueryBroker()
+        query = _query(r, s)
+        (cold,) = broker.run_batch([query])
+        (warm,) = broker.run_batch([_query(r, s)])
+        assert warm.cached and warm.result is cold.result
+
+        poison_pair = (-1, -1)
+        with pytest.raises(AttributeError):
+            warm.result.pairs.add(poison_pair)  # frozenset: no .add at all
+        with pytest.raises(TypeError):
+            warm.result.objects.append("poison")
+        with pytest.raises(TypeError):
+            warm.result.operator_counts["poison"] = 1
+        with pytest.raises(TypeError):
+            warm.result.server_stats["R"]["window_queries"] = 10**9
+        with pytest.raises(TypeError):
+            warm.result.channel_stats.clear()
+        with pytest.raises(TypeError):
+            warm.result.trace.pop()
+
+        (again,) = broker.run_batch([_query(r, s)])
+        assert again.cached
+        reference = _standalone(query, "upjoin")
+        assert again.result.sorted_pairs() == reference.sorted_pairs()
+        assert poison_pair not in again.result.pairs
+        assert again.result.total_bytes == reference.total_bytes
+        assert again.result.server_stats == reference.server_stats
+        assert again.result.operator_counts == reference.operator_counts
+
+    def test_freeze_preserves_identity_equality_and_reads(self):
+        r, s = _datasets()
+        reference = _standalone(_query(r, s), "upjoin")
+        frozen = _standalone(_query(r, s), "upjoin")
+        assert freeze_result(frozen) is frozen  # in-place, same object
+        assert freeze_result(frozen) is frozen  # idempotent
+        # Frozen containers still equal their mutable twins, so every
+        # equivalence assertion keeps working on cached results.
+        assert frozen.pairs == set(reference.pairs)
+        assert frozen.objects == reference.objects
+        assert frozen.operator_counts == reference.operator_counts
+        assert frozen.server_stats == reference.server_stats
+        assert frozen.channel_stats == reference.channel_stats
+        assert frozen.sorted_pairs() == reference.sorted_pairs()
+        assert len(frozen.trace) == len(reference.trace)
+
+
+# --------------------------------------------------------------------------- #
+# content-true dataset tokens
+# --------------------------------------------------------------------------- #
+
+
+class _StubDataset:
+    """Duck-typed dataset: tokens only consult name, len, mbrs and oids.
+
+    A real :class:`SpatialDataset` coerces its arrays to canonical dtypes,
+    which is exactly why the dtype/shape trap needs raw arrays to exhibit.
+    """
+
+    def __init__(self, name, mbrs, oids):
+        self.name = name
+        self.mbrs = mbrs
+        self.oids = oids
+
+    def __len__(self):
+        return len(self.oids)
+
+
+class TestDatasetToken:
+    def test_same_bytes_different_dtype_no_longer_collide(self):
+        """4 float64 zeros and 8 float32 zeros serialize to the same 32
+        bytes; before the fix their digests (and hence cache keys)
+        collided."""
+        oids = np.arange(4, dtype=np.int64)
+        a = _StubDataset("D", np.zeros(4, dtype=np.float64), oids)
+        b = _StubDataset("D", np.zeros(8, dtype=np.float32), oids)
+        assert a.mbrs.tobytes() == b.mbrs.tobytes()
+        assert dataset_token(a) != dataset_token(b)
+
+    def test_same_bytes_different_shape_no_longer_collide(self):
+        oids = np.arange(4, dtype=np.int64)
+        a = _StubDataset("D", np.zeros((2, 4)), oids)
+        b = _StubDataset("D", np.zeros((4, 2)), oids)
+        assert a.mbrs.tobytes() == b.mbrs.tobytes()
+        assert a.mbrs.dtype == b.mbrs.dtype
+        assert dataset_token(a) != dataset_token(b)
+
+    def test_token_is_memoised_and_content_stable(self):
+        r, _ = _datasets()
+        first = dataset_token(r)
+        assert dataset_token(r) is first  # memo hit on the same object
+        r2, _ = _datasets()  # fresh object, same rows
+        assert dataset_token(r2) == first  # content-derived, not identity
+
+
+# --------------------------------------------------------------------------- #
+# LRU eviction with exact accounting
+# --------------------------------------------------------------------------- #
+
+
+def _result(tag: int) -> JoinResult:
+    return JoinResult(
+        algorithm="stub", spec=JoinSpec.intersection(), pairs={(tag, tag)}
+    )
+
+
+class TestLRUCache:
+    def test_hit_refreshes_recency(self):
+        """FIFO would evict the oldest *inserted* entry; LRU keeps the hot
+        one alive."""
+        cache = ResultCache(max_entries=2)
+        cache.put(("a",), _result(1))
+        cache.put(("b",), _result(2))
+        assert cache.get(("a",)) is not None  # refresh "a"
+        cache.put(("c",), _result(3))  # must evict "b", not "a"
+        assert cache.get(("a",)) is not None
+        assert cache.get(("b",)) is None
+        assert cache.get(("c",)) is not None
+        assert cache.evictions == 1
+
+    def test_eviction_accounting_is_exact(self):
+        cache = ResultCache(max_entries=2)
+        cache.put(("a",), _result(1))
+        cache.put(("a",), _result(1))  # re-put: refresh, no eviction
+        cache.put(("b",), _result(2))
+        assert cache.evictions == 0 and len(cache) == 2
+        cache.put(("c",), _result(3))
+        cache.put(("d",), _result(4))
+        assert cache.evictions == 2 and len(cache) == 2
+        cache.clear()
+        assert cache.evictions == 0 and len(cache) == 0
+
+    def test_counters_survive_a_concurrent_hammer(self):
+        """get/put/counters share one lock: totals must add up exactly."""
+        cache = ResultCache(max_entries=8)
+        keys = [(i,) for i in range(16)]
+        for key in keys[:8]:
+            cache.put(key, _result(key[0]))
+        ops_per_thread = 300
+
+        def hammer(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            for _ in range(ops_per_thread):
+                key = keys[int(rng.integers(len(keys)))]
+                if cache.get(key) is None:
+                    cache.put(key, _result(key[0]))
+
+        threads = [threading.Thread(target=hammer, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert cache.hits + cache.misses == 4 * ops_per_thread
+        assert len(cache) == 8
+
+    def test_put_returns_the_frozen_result(self):
+        cache = ResultCache()
+        stored = cache.put(("k",), _result(5))
+        assert cache.get(("k",)) is stored
+        with pytest.raises(AttributeError):
+            stored.pairs.add((9, 9))
+
+
+# --------------------------------------------------------------------------- #
+# the ledger-isolation audit
+# --------------------------------------------------------------------------- #
+
+
+class TestLedgerIsolationAudit:
+    def test_disjoint_stacks_pass(self):
+        r, s = _datasets()
+        _, _, d1 = build_session_stack(r, s, buffer_size=BUFFER)
+        _, _, d2 = build_session_stack(r, s, buffer_size=BUFFER)
+        audit_ledger_isolation([d1, d2])  # no raise
+
+    def test_aliased_stack_is_refused(self):
+        r, s = _datasets()
+        _, _, device = build_session_stack(r, s, buffer_size=BUFFER)
+        with pytest.raises(RuntimeError, match="ledger isolation"):
+            audit_ledger_isolation([device, device])
+
+    def test_pooled_broker_runs_the_audit(self, monkeypatch):
+        import repro.service.broker as broker_mod
+
+        calls = []
+
+        def spy(devices):
+            calls.append(len(devices))
+
+        monkeypatch.setattr(broker_mod, "audit_ledger_isolation", spy)
+        r, s = _datasets()
+        queries = [_query(r, s, algorithm=a) for a in ("upjoin", "srjoin")]
+        QueryBroker(cache=False, workers=2).run_batch(queries)
+        assert calls == [2]
+        # The serial path never pays for the audit.
+        calls.clear()
+        QueryBroker(cache=False).run_batch(queries)
+        assert calls == []
+
+
+# --------------------------------------------------------------------------- #
+# the asynchronous service lane
+# --------------------------------------------------------------------------- #
+
+
+class TestQueryService:
+    def test_submit_poll_result_matches_batch_path(self):
+        r, s = _datasets()
+        queries = [_query(r, s, algorithm=a) for a in ("upjoin", "srjoin", "mobijoin")]
+        reference = QueryBroker(cache=False).run_batch(queries)
+        with QueryService(workers=2, cache=False) as service:
+            tickets = service.submit_all(queries)
+            outcomes = [service.result(t, timeout=60) for t in tickets]
+        for ref, out, ticket in zip(reference, outcomes, tickets):
+            assert out.ticket == ticket
+            assert out.service_latency_s is not None and out.service_latency_s >= 0
+            assert out.result.sorted_pairs() == ref.result.sorted_pairs()
+            assert out.result.total_bytes == ref.result.total_bytes
+            assert out.result.server_stats == ref.result.server_stats
+            assert out.ledger_fingerprints == ref.ledger_fingerprints
+
+    def test_poll_and_drain(self):
+        r, s = _datasets()
+        with QueryService(workers=0, cache=False) as service:
+            ticket = service.submit(_query(r, s))
+            service.drain(timeout=60)
+            assert service.poll(ticket)
+            outcome = service.result(ticket, timeout=0)
+            assert outcome.result.num_pairs == _standalone(
+                _query(r, s), "upjoin"
+            ).num_pairs
+
+    def test_callback_fires_with_the_stamped_outcome(self):
+        r, s = _datasets()
+        seen = []
+        done = threading.Event()
+
+        def on_done(outcome):
+            seen.append(outcome)
+            done.set()
+
+        with QueryService(workers=2, cache=False) as service:
+            ticket = service.submit(_query(r, s), callback=on_done)
+            assert done.wait(60)
+            outcome = service.result(ticket, timeout=60)
+        assert seen == [outcome]
+        assert seen[0].ticket == ticket and seen[0].service_latency_s is not None
+
+    def test_result_is_collect_once(self):
+        r, s = _datasets()
+        with QueryService(cache=False) as service:
+            ticket = service.submit(_query(r, s))
+            service.result(ticket, timeout=60)
+            with pytest.raises(KeyError):
+                service.result(ticket, timeout=60)
+
+    def test_failure_is_delivered_to_the_waiter(self):
+        r, s = _datasets()
+        bad = JoinQuery(
+            r, s, JoinSpec.distance(0.03), algorithm="upjoin",
+            buffer_size=BUFFER, execution="bogus-mode",
+        )
+        with QueryService(cache=False) as service:
+            ticket = service.submit(bad)
+            with pytest.raises(ValueError):
+                service.result(ticket, timeout=60)
+            # The service survives a failed wave.
+            ok = service.submit(_query(r, s))
+            assert service.result(ok, timeout=60).result.num_pairs > 0
+
+    def test_close_finishes_queued_work_then_rejects_submissions(self):
+        r, s = _datasets()
+        service = QueryService(workers=2, cache=False)
+        tickets = service.submit_all([_query(r, s, algorithm=a) for a in ("upjoin", "naive")])
+        service.close(wait=True)
+        for ticket in tickets:
+            assert service.poll(ticket)
+            assert service.result(ticket, timeout=0).result.num_pairs > 0
+        with pytest.raises(RuntimeError):
+            service.submit(_query(r, s))
+
+    def test_arrivals_coalesce_into_waves(self):
+        """Queries submitted together run in fewer broker waves than
+        queries submitted one-at-a-time with a drain in between -- the
+        continuous-admission win the load benchmark measures."""
+        r, s = _datasets()
+        queries = [_query(r, s, algorithm=a) for a in ("upjoin", "srjoin", "mobijoin", "naive")]
+        with QueryService(workers=0, cache=False) as burst:
+            burst.submit_all(queries)
+            burst.drain(timeout=120)
+            burst_waves = burst.broker.stats.waves
+        with QueryService(workers=0, cache=False) as trickle:
+            for query in queries:
+                trickle.submit(query)
+                trickle.drain(timeout=120)
+            trickle_waves = trickle.broker.stats.waves
+        assert burst_waves < trickle_waves == len(queries)
+
+    def test_broker_xor_kwargs(self):
+        broker = QueryBroker(cache=False)
+        with pytest.raises(ValueError):
+            QueryService(broker, workers=2)
+        service = QueryService(broker)
+        assert service.broker is broker
+        service.close()
