@@ -1,8 +1,9 @@
 """Merge every per-PR speedup record into one machine-readable trajectory.
 
 Each perf-lane benchmark (``pytest -m perf benchmarks/``) writes its own
-``benchmarks/results/<name>_speedup.json`` (or ``<name>_load.json``, for
-the sustained-throughput lane) record.  This script folds all of them into
+``benchmarks/results/<name>_speedup.json`` (``<name>_load.json`` for the
+sustained-throughput lane, ``<name>_overhead.json`` for no-regression
+overhead gates like the resilience layer's) record.  This script folds all of them into
 ``benchmarks/results/summary.json`` so the performance trajectory of the
 repository stays readable in one place::
 
@@ -52,8 +53,10 @@ def collect(results_dir: Path = RESULTS_DIR) -> Dict:
     """Read every speedup/load record and assemble the summary."""
     records: Dict[str, Dict] = {}
     headline: Dict[str, float] = {}
-    paths = set(results_dir.glob("*_speedup.json")) | set(
-        results_dir.glob("*_load.json")
+    paths = (
+        set(results_dir.glob("*_speedup.json"))
+        | set(results_dir.glob("*_load.json"))
+        | set(results_dir.glob("*_overhead.json"))
     )
     for path in sorted(paths):
         try:

@@ -27,8 +27,17 @@ from repro.core.planner import ALGORITHMS, build_algorithm, build_session_stack
 from repro.core.result import JoinResult
 from repro.datasets.dataset import SpatialDataset
 from repro.device.pda import MobileDevice
+from repro.errors import (
+    ChannelFault,
+    QueryTimeout,
+    ReproError,
+    RetryExhausted,
+    ServerUnavailable,
+    ServiceClosed,
+)
 from repro.geometry.rect import Rect
 from repro.network.config import NetworkConfig
+from repro.network.faults import FaultPlan, RetryPolicy
 from repro.server.server import SpatialServer
 from repro.service.broker import QueryBroker
 from repro.service.executor import QueryService
@@ -36,11 +45,19 @@ from repro.service.query import JoinQuery, QueryOutcome
 
 __all__ = [
     "AdHocJoinSession",
+    "ChannelFault",
+    "FaultPlan",
     "JoinOutcome",
     "JoinQuery",
     "QueryBroker",
     "QueryOutcome",
     "QueryService",
+    "QueryTimeout",
+    "ReproError",
+    "RetryExhausted",
+    "RetryPolicy",
+    "ServerUnavailable",
+    "ServiceClosed",
     "available_algorithms",
     "batch_join",
     "quick_join",
@@ -69,6 +86,9 @@ def quick_join(
     config: Optional[NetworkConfig] = None,
     window: Optional[Rect] = None,
     seed: int = 0,
+    faults: Optional[FaultPlan] = None,
+    retry: Optional[RetryPolicy] = None,
+    deadline_s: Optional[float] = None,
 ) -> JoinResult:
     """Run one ad-hoc distributed spatial join end to end.
 
@@ -97,6 +117,18 @@ def quick_join(
         Joined region; defaults to the union of the dataset bounds.
     seed:
         Seed for algorithm-internal randomness.
+    faults:
+        Optional seeded :class:`~repro.network.faults.FaultPlan` injected
+        at the channel boundary (chaos testing / resilience drills).  Under
+        any plan whose operations eventually succeed, the result is
+        bit-identical to the fault-free run on the primary metering lane.
+    retry:
+        Optional :class:`~repro.network.faults.RetryPolicy` governing
+        backoff between retried exchanges (defaults to the standard policy
+        whenever a resilience stack is attached).
+    deadline_s:
+        Optional per-query budget in simulated seconds; crossing it raises
+        a typed :class:`~repro.errors.QueryTimeout`.
 
     Returns
     -------
@@ -110,6 +142,9 @@ def quick_join(
         buffer_size=buffer_size,
         config=config,
         indexed=algorithm.lower() == "semijoin",
+        faults=faults,
+        retry=retry,
+        deadline_s=deadline_s,
     )
     return session.run(
         algorithm=algorithm,
@@ -181,6 +216,9 @@ class AdHocJoinSession:
         indexed: bool = True,
         index_fanout: int = 16,
         servers: Optional[Tuple[SpatialServer, SpatialServer]] = None,
+        faults: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+        deadline_s: Optional[float] = None,
     ) -> None:
         """``servers`` accepts a pre-built ``(server_r, server_s)`` pair.
 
@@ -189,6 +227,12 @@ class AdHocJoinSession:
         experiment harness's workload cache -- can back many sessions and
         algorithms without rebuilding the R-trees.  Channels and the device
         are created fresh for this session regardless.
+
+        ``faults``/``retry``/``deadline_s`` attach a resilience stack to
+        the session's channels: faults are injected deterministically from
+        the plan's seed, recoverable ones are retried with backoff, and
+        every run's primary metering lane stays bit-identical to the
+        fault-free run (retry traffic is ledgered on a separate lane).
         """
         self.dataset_r = dataset_r
         self.dataset_s = dataset_s
@@ -202,6 +246,9 @@ class AdHocJoinSession:
             indexed=indexed,
             index_fanout=index_fanout,
             servers=servers,
+            faults=faults,
+            retry=retry,
+            deadline_s=deadline_s,
         )
         self._history: List[JoinResult] = []
 
@@ -245,6 +292,8 @@ class AdHocJoinSession:
         self.device.reset()
         self.server_r.stats.reset()
         self.server_s.stats.reset()
+        if self.device.resilience is not None:
+            self.device.resilience.reset()
         if buffer_size is not None:
             self.device.buffer.capacity = buffer_size
         else:

@@ -104,8 +104,12 @@ class MobileJoinAlgorithm(ABC):
         """Execute the join over ``window`` and assemble the result."""
         self._pairs.clear()
         self._trace.clear()
-        count_r = self.count_window("R", window)
-        count_s = self.count_window("S", window)
+        # The root counts go through the batch helper (size 1) so the
+        # exchange sequence -- bytes *and* fault-stream labels -- matches
+        # the broker's cooperative driver, which answers the root round
+        # through the batched prefetch accounting.
+        count_r = self.count_windows("R", [window])[0]
+        count_s = self.count_windows("S", [window])[0]
         self.record(0, window, "start", f"{self.name}", count_r, count_s)
         self._execute(window, count_r, count_s, depth=0)
         return self._assemble(window)
@@ -350,5 +354,10 @@ class MobileJoinAlgorithm(ABC):
             },
             buffer_high_water_mark=self.device.buffer.high_water_mark,
             trace=list(self._trace),
+            resilience=(
+                res.summary()
+                if (res := self.device.resilience) is not None and res.plan is not None
+                else None
+            ),
         )
         return result

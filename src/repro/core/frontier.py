@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Sequence
 
 from repro.core.base import MobileJoinAlgorithm
+from repro.errors import RoundRetry
 from repro.core.result import JoinResult
 from repro.core.stats import CountRequest, execute_count_requests
 from repro.device.hbsj import HBSJRequest
@@ -277,6 +278,22 @@ class FrontierAlgorithm(MobileJoinAlgorithm):
             run.pending = None
             run.outcome = stop.value
 
+    def _resumable_round(self, batches: Dict[str, List[Rect]]) -> CountRounds:
+        """Yield one COUNT round, re-yielding it on :class:`RoundRetry`.
+
+        A driver that hits a transient failure while evaluating a coalesced
+        round can ``throw(RoundRetry)`` into the generator: instead of
+        unwinding (and destroying the query's execution state), the
+        generator offers the *identical* round again on the next advance.
+        The exchange is idempotent -- the round's windows are a pure
+        function of the frontier state, which the retry does not touch.
+        """
+        while True:
+            try:
+                return (yield batches)
+            except RoundRetry:
+                continue
+
     def _level_rounds(self, runs: List[_Run]) -> CountRounds:
         """Advance every window of the level in lock-step rounds.
 
@@ -295,7 +312,7 @@ class FrontierAlgorithm(MobileJoinAlgorithm):
             for run in pending:
                 for req in run.pending:
                     batches.setdefault(req.server, []).extend(req.rects)
-            answers = yield batches
+            answers = yield from self._resumable_round(batches)
             cursors = {server: 0 for server in batches}
             still_pending: List[_Run] = []
             for run in pending:
@@ -337,10 +354,12 @@ class FrontierAlgorithm(MobileJoinAlgorithm):
             return self.run(window)
         self._pairs.clear()
         self._trace.clear()
-        answers = yield {
-            "R": [self.query_window("R", window)],
-            "S": [self.query_window("S", window)],
-        }
+        answers = yield from self._resumable_round(
+            {
+                "R": [self.query_window("R", window)],
+                "S": [self.query_window("S", window)],
+            }
+        )
         count_r = int(answers["R"][0])
         count_s = int(answers["S"][0])
         self.record(0, window, "start", f"{self.name}", count_r, count_s)

@@ -27,7 +27,7 @@ from repro.datasets.dataset import SpatialDataset
 from repro.device.pda import MobileDevice
 from repro.geometry.rect import Rect
 from repro.network.config import NetworkConfig
-from repro.server.remote import ServerPair
+from repro.server.remote import ResilienceController, ServerPair
 from repro.server.server import SpatialServer
 
 __all__ = [
@@ -124,6 +124,9 @@ def build_session_stack(
     indexed: bool = False,
     index_fanout: int = 16,
     servers: Optional[Tuple[SpatialServer, SpatialServer]] = None,
+    faults=None,
+    retry=None,
+    deadline_s: Optional[float] = None,
 ) -> Tuple[SpatialServer, SpatialServer, MobileDevice]:
     """Build the two servers, the metered connections and the device.
 
@@ -133,6 +136,11 @@ def build_session_stack(
     once per workload and shares it across algorithm runs.  The metered
     channels and the device are always fresh, so byte accounting starts
     from zero either way.
+
+    ``faults``/``retry``/``deadline_s`` attach a per-session
+    :class:`~repro.server.remote.ResilienceController` (a seeded
+    :class:`~repro.network.faults.FaultPlan`, a retry policy, and a
+    simulated-time deadline budget) to both connections.
     """
     config = config or NetworkConfig()
     if servers is None:
@@ -144,7 +152,14 @@ def build_session_stack(
         )
     else:
         server_r, server_s = servers
-    pair = ServerPair.connect(server_r, server_s, config=config, indexed=indexed)
+    resilience = None
+    if faults is not None or retry is not None or deadline_s is not None:
+        resilience = ResilienceController(
+            faults=faults, retry=retry, deadline_s=deadline_s
+        )
+    pair = ServerPair.connect(
+        server_r, server_s, config=config, indexed=indexed, resilience=resilience
+    )
     device = MobileDevice(pair, buffer_size=buffer_size)
     return server_r, server_s, device
 
@@ -176,6 +191,9 @@ def run_join(
     params: Optional[AlgorithmParameters] = None,
     window: Optional[Rect] = None,
     index_fanout: int = 16,
+    faults=None,
+    retry=None,
+    deadline_s: Optional[float] = None,
     **algorithm_kwargs: object,
 ) -> JoinResult:
     """Build the full stack, run one algorithm, return the measured result.
@@ -196,6 +214,9 @@ def run_join(
         Algorithm tunables (alpha, rho, bucket queries, ...).
     window:
         The joined region; defaults to the union MBR of both datasets.
+    faults, retry, deadline_s:
+        Optional resilience stack: a seeded fault plan to inject, the
+        retry policy answering it, and a per-query simulated-time deadline.
     """
     indexed = algorithm.lower() == "semijoin"
     _, _, device = build_session_stack(
@@ -205,6 +226,9 @@ def run_join(
         config=config,
         indexed=indexed,
         index_fanout=index_fanout,
+        faults=faults,
+        retry=retry,
+        deadline_s=deadline_s,
     )
     algo = build_algorithm(algorithm, device, spec, params, **algorithm_kwargs)
     if window is None:

@@ -62,6 +62,10 @@ class JoinResult:
     buffer_high_water_mark: int = 0
     #: Step-by-step trace (may be empty when tracing is disabled).
     trace: List[TraceEvent] = field(default_factory=list)
+    #: Retry/fault counters and retry-lane traffic of a fault-injected run
+    #: (``None`` when the session ran without a fault plan).  Never part of
+    #: the paper's transfer figures -- those read the primary lane only.
+    resilience: Optional[Dict] = None
 
     # ------------------------------------------------------------------ #
 

@@ -89,6 +89,11 @@ class MobileDevice:
     def config(self) -> NetworkConfig:
         return self.servers.r.config
 
+    @property
+    def resilience(self):
+        """The session's shared resilience controller (``None`` if plain)."""
+        return self.servers.r.resilience
+
     def count_window(self, server_name: str, window: Rect) -> int:
         """COUNT on one server; counted as an aggregate query."""
         self.counts.count_queries += 1

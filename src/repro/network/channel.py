@@ -13,19 +13,36 @@ Channels are the *measurement* layer: algorithms may estimate costs with
 the planning model in :mod:`repro.core.costmodel`, but all reported totals
 come from here.  A :class:`TrafficLog` optionally keeps a per-message trace
 for debugging and for the protocol-level discrete-event simulation.
+
+Since PR 7 a channel carries **two ledger lanes**.  The *primary* lane is
+the one described above -- the paper's transfer figures, fingerprints and
+snapshots read it exclusively.  The *retry* lane accumulates the wire
+traffic of failed or duplicated exchange attempts injected by
+:mod:`repro.network.faults`: while a :meth:`fault_lane` context is active,
+accounting lands on the ``retry_*`` counters and ``retry_log`` instead (a
+direction outside the context's scope is suppressed entirely -- e.g. a
+dropped request burned uplink and downlink, an unavailable server only ever
+saw the uplink).  This is what keeps fault-injected runs bit-identical to
+fault-free ones on the primary lane while still measuring what the faults
+cost.
 """
 
 from __future__ import annotations
 
 from collections import Counter
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.network.config import NetworkConfig
 from repro.network.messages import Message, MessageKind
 from repro.network.packets import num_packets, transferred_bytes
 
 __all__ = ["Channel", "TrafficLog", "TrafficRecord"]
+
+#: Sentinel lane marker: the direction is out of the fault context's scope,
+#: so the message never hit the wire and must not be accounted anywhere.
+SUPPRESSED = object()
 
 
 @dataclass(frozen=True)
@@ -121,6 +138,18 @@ class Channel:
         self.downlink_packets = 0
         self.messages_up = 0
         self.messages_down = 0
+        # Retry lane: traffic of failed/duplicated exchange attempts.  Never
+        # mixed into the primary counters above or the paper's figures.
+        self.retry_uplink_bytes = 0
+        self.retry_downlink_bytes = 0
+        self.retry_uplink_packets = 0
+        self.retry_downlink_packets = 0
+        self.retry_messages_up = 0
+        self.retry_messages_down = 0
+        self.retry_log = TrafficLog()
+        # None = primary lane; "up"/"down"/"both" = retry lane scoped to
+        # those directions (the other direction is suppressed, not primary).
+        self._fault_lane: Optional[str] = None
 
     # ------------------------------------------------------------------ #
 
@@ -134,17 +163,38 @@ class Channel:
         """Tariff-weighted cost of all traffic."""
         return self.total_bytes * self.tariff
 
+    @property
+    def retry_bytes(self) -> int:
+        """Total retry-lane wire bytes (failed/duplicated attempts)."""
+        return self.retry_uplink_bytes + self.retry_downlink_bytes
+
+    @contextmanager
+    def fault_lane(self, directions: str = "both") -> Iterator["Channel"]:
+        """Route accounting onto the retry lane while the context is active.
+
+        ``directions`` scopes which sides of the exchange actually hit the
+        wire: ``"both"`` for a dropped round trip or duplicated exchange,
+        ``"up"`` when only the request went out (server unavailable,
+        disconnect), ``"down"`` when only a response arrived (duplicate
+        delivery).  Accounting in the other direction is suppressed --
+        those bytes never existed, on either lane.
+        """
+        if directions not in ("up", "down", "both"):
+            raise ValueError("fault_lane directions must be 'up', 'down' or 'both'")
+        previous = self._fault_lane
+        self._fault_lane = directions
+        try:
+            yield self
+        finally:
+            self._fault_lane = previous
+
     def send_query(self, message: Message, label: str = "") -> int:
         """Account an uplink message; returns its wire bytes."""
-        wire = self._account(message, direction="up", label=label)
-        self.messages_up += 1
-        return wire
+        return self._account(message, direction="up", label=label)
 
     def send_response(self, message: Message, label: str = "") -> int:
         """Account a downlink message; returns its wire bytes."""
-        wire = self._account(message, direction="down", label=label)
-        self.messages_down += 1
-        return wire
+        return self._account(message, direction="down", label=label)
 
     def send_uniform_batch(
         self, message: Message, n: int, direction: str = "up", label: str = ""
@@ -159,18 +209,14 @@ class Channel:
         """
         if n <= 0:
             return 0
+        log = self._lane_log(direction)
+        if log is SUPPRESSED:
+            return 0
         payload = message.payload_bytes(self.config)
         wire = transferred_bytes(payload, self.config)
         packets = num_packets(payload, self.config)
-        if direction == "up":
-            self.uplink_bytes += wire * n
-            self.uplink_packets += packets * n
-            self.messages_up += n
-        else:
-            self.downlink_bytes += wire * n
-            self.downlink_packets += packets * n
-            self.messages_down += n
-        if self.log.enabled:
+        self._bump(direction, wire * n, packets * n, n)
+        if log.enabled:
             record = TrafficRecord(
                 direction=direction,
                 kind=message.kind,
@@ -179,7 +225,7 @@ class Channel:
                 packets=packets,
                 label=label,
             )
-            self.log.records.extend([record] * n)
+            log.records.extend([record] * n)
         return wire * n
 
     def send_payload_batch(
@@ -197,10 +243,13 @@ class Channel:
         evaluations instead of one per message.  The per-record ledger is
         identical to a loop of scalar sends.
         """
+        log = self._lane_log(direction)
+        if log is SUPPRESSED:
+            return 0
         total_wire = 0
         total_packets = 0
         cache: Dict[int, TrafficRecord] = {}
-        records = self.log.records if self.log.enabled else None
+        records = log.records if log.enabled else None
         for payload in payload_sizes:
             record = cache.get(payload)
             if record is None:
@@ -219,15 +268,7 @@ class Channel:
             total_packets += record.packets
             if records is not None:
                 records.append(record)
-        n = len(payload_sizes)
-        if direction == "up":
-            self.uplink_bytes += total_wire
-            self.uplink_packets += total_packets
-            self.messages_up += n
-        else:
-            self.downlink_bytes += total_wire
-            self.downlink_packets += total_packets
-            self.messages_down += n
+        self._bump(direction, total_wire, total_packets, len(payload_sizes))
         return total_wire
 
     def ledger_fingerprint(self) -> Tuple:
@@ -262,8 +303,34 @@ class Channel:
             "total_cost": self.total_cost,
         }
 
+    def retry_snapshot(self) -> Dict[str, float]:
+        """Summary of the retry lane (failed/duplicated attempt traffic)."""
+        return {
+            "name": self.name,
+            "retry_uplink_bytes": self.retry_uplink_bytes,
+            "retry_downlink_bytes": self.retry_downlink_bytes,
+            "retry_bytes": self.retry_bytes,
+            "retry_uplink_packets": self.retry_uplink_packets,
+            "retry_downlink_packets": self.retry_downlink_packets,
+            "retry_messages_up": self.retry_messages_up,
+            "retry_messages_down": self.retry_messages_down,
+        }
+
+    def retry_ledger_fingerprint(self) -> Tuple:
+        """Hashable digest of the retry lane (counters + record sequence)."""
+        return (
+            self.name,
+            self.retry_uplink_bytes,
+            self.retry_downlink_bytes,
+            self.retry_uplink_packets,
+            self.retry_downlink_packets,
+            self.retry_messages_up,
+            self.retry_messages_down,
+            self.retry_log.fingerprint(),
+        )
+
     def reset(self) -> None:
-        """Zero all counters and clear the log."""
+        """Zero all counters (both lanes) and clear the logs."""
         self.uplink_bytes = 0
         self.downlink_bytes = 0
         self.uplink_packets = 0
@@ -271,24 +338,64 @@ class Channel:
         self.messages_up = 0
         self.messages_down = 0
         self.log.clear()
+        self.retry_uplink_bytes = 0
+        self.retry_downlink_bytes = 0
+        self.retry_uplink_packets = 0
+        self.retry_downlink_packets = 0
+        self.retry_messages_up = 0
+        self.retry_messages_down = 0
+        self.retry_log.clear()
 
     # ------------------------------------------------------------------ #
 
+    def _lane_log(self, direction: str):
+        """Traffic log of the active lane, or ``SUPPRESSED``.
+
+        Primary mode routes to ``self.log``.  Inside a :meth:`fault_lane`
+        context, directions in scope route to ``self.retry_log``; the out
+        of scope direction is suppressed (no bytes on either lane).
+        """
+        lane = self._fault_lane
+        if lane is None:
+            return self.log
+        if lane != "both" and lane != direction:
+            return SUPPRESSED
+        return self.retry_log
+
+    def _bump(self, direction: str, wire: int, packets: int, messages: int) -> None:
+        """Add to the active lane's counters for one direction."""
+        if self._fault_lane is None:
+            if direction == "up":
+                self.uplink_bytes += wire
+                self.uplink_packets += packets
+                self.messages_up += messages
+            else:
+                self.downlink_bytes += wire
+                self.downlink_packets += packets
+                self.messages_down += messages
+        else:
+            if direction == "up":
+                self.retry_uplink_bytes += wire
+                self.retry_uplink_packets += packets
+                self.retry_messages_up += messages
+            else:
+                self.retry_downlink_bytes += wire
+                self.retry_downlink_packets += packets
+                self.retry_messages_down += messages
+
     def _account(self, message: Message, direction: str, label: str) -> int:
+        log = self._lane_log(direction)
+        if log is SUPPRESSED:
+            return 0
         payload = message.payload_bytes(self.config)
         wire = transferred_bytes(payload, self.config)
         packets = num_packets(payload, self.config)
-        if direction == "up":
-            self.uplink_bytes += wire
-            self.uplink_packets += packets
-        else:
-            self.downlink_bytes += wire
-            self.downlink_packets += packets
+        self._bump(direction, wire, packets, 1)
         # Disabled fast path: skip TrafficRecord construction entirely --
         # byte/packet totals above are unaffected, so metering-off runs pay
         # nothing per message beyond the counter updates.
-        if self.log.enabled:
-            self.log.add(
+        if log.enabled:
+            log.add(
                 TrafficRecord(
                     direction=direction,
                     kind=message.kind,

@@ -14,19 +14,34 @@ every experiment are read off its channels after the join finishes.
 :class:`IndexedRemoteServer` additionally exposes the R-tree level MBRs and
 a "forwarded window" operation; only the SemiJoin comparator uses it (the
 paper assumes R-tree-published servers for that algorithm alone).
+
+Resilience (PR 7).  A proxy may carry a :class:`ResilienceController`: every
+metered exchange then runs through a retry loop against the deterministic
+fault stream of :mod:`repro.network.faults`.  The protocol is built on
+**idempotent request ids** -- the server caches the answer of the first
+evaluation of a request id, so a retried exchange re-sends bytes but never
+re-evaluates (and never re-bumps server statistics).  In the simulation
+that shows up as an *evaluate-once* structure: each method evaluates the
+backing server exactly once, then hands the channel-accounting closure to
+the controller, which accounts failed/duplicated attempts on the channel's
+retry lane and the one successful attempt on the primary lane.  The primary
+ledger of a fault-injected run is therefore structurally identical to the
+fault-free run; only the retry lane and the resilience counters differ.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import ChannelFault, QueryTimeout, RetryExhausted, ServerUnavailable
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.network.channel import Channel
 from repro.network.config import NetworkConfig
+from repro.network.faults import FaultInjector, FaultKind, FaultPlan, RetryPolicy
 from repro.network.messages import (
     AggregateQuery,
     BucketRangeQuery,
@@ -40,7 +55,201 @@ from repro.network.messages import (
 from repro.server.interface import SpatialServerInterface
 from repro.server.server import SpatialServer
 
-__all__ = ["RemoteServer", "IndexedRemoteServer", "ServerPair"]
+__all__ = ["RemoteServer", "IndexedRemoteServer", "ResilienceController", "ServerPair"]
+
+
+class ResilienceController:
+    """Per-query retry/timeout state shared by both of a session's proxies.
+
+    Parameters
+    ----------
+    faults:
+        The :class:`FaultPlan` to inject, or ``None`` for a reliable
+        network (exchanges account directly, nothing is drawn).
+    retry:
+        Client retry policy; defaults to :class:`RetryPolicy()`.
+    deadline_s:
+        Optional per-query deadline budget in *simulated* seconds.  Stall
+        latencies and retry backoffs advance the clock; crossing the budget
+        raises :class:`QueryTimeout`.
+
+    One controller per query: its injectors are keyed by channel (server)
+    name, so the fault stream each server sees depends only on the plan
+    seed and that query's own exchange sequence -- the determinism contract
+    that makes broker and standalone execution draw identical events.
+    """
+
+    def __init__(
+        self,
+        faults: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+        deadline_s: Optional[float] = None,
+    ) -> None:
+        self.plan = faults
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.deadline_s = deadline_s
+        self.elapsed_s = 0.0
+        self.exchanges = 0
+        self.attempts = 0
+        self.retries = 0
+        self.drops = 0
+        self.stalls = 0
+        self.duplicates_discarded = 0
+        self.unavailable = 0
+        self._injectors: Dict[str, FaultInjector] = {}
+        self._channels: List[Channel] = []
+
+    # ------------------------------------------------------------------ #
+
+    def register(self, channel: Channel) -> None:
+        """Attach a channel so its retry lane shows up in :meth:`summary`."""
+        self._channels.append(channel)
+
+    def injector(self, server_name: str) -> Optional[FaultInjector]:
+        """The (memoised) fault stream of one server's channel."""
+        if self.plan is None:
+            return None
+        injector = self._injectors.get(server_name)
+        if injector is None:
+            injector = self.plan.injector(server_name)
+            self._injectors[server_name] = injector
+        return injector
+
+    def exchange(self, channel: Channel, label: str, account: Callable[[], None]) -> None:
+        """Run one logical exchange through the fault/retry protocol.
+
+        ``account`` performs the exchange's channel accounting (request
+        record(s) then response record(s)); the server evaluation already
+        happened, exactly once, before this call.  On success ``account``
+        runs on the primary lane; every failed or duplicated attempt runs
+        it inside a :meth:`~Channel.fault_lane` scope instead, so its bytes
+        land on the retry lane (with the direction that never hit the wire
+        suppressed).
+        """
+        self.exchanges += 1
+        injector = self.injector(channel.name)
+        if injector is None:
+            self.attempts += 1
+            account()
+            return
+        failures = 0
+        while True:
+            self.attempts += 1
+            event = injector.next_event(label)
+            kind = event.kind
+            if kind is FaultKind.OK:
+                account()
+                return
+            if kind is FaultKind.STALL:
+                self.stalls += 1
+                account()
+                self._advance(event.latency_s, label)
+                return
+            if kind is FaultKind.DUPLICATE:
+                # The exchange succeeded; the response was delivered twice.
+                # The duplicate carries an already-seen request id and is
+                # discarded -- its downlink bytes land on the retry lane.
+                self.duplicates_discarded += 1
+                account()
+                with channel.fault_lane("down"):
+                    account()
+                return
+            if kind is FaultKind.DISCONNECT:
+                with channel.fault_lane("up"):
+                    account()
+                raise ChannelFault(
+                    f"link to server {channel.name!r} lost mid-query "
+                    f"(exchange {event.op_index}, {label!r})",
+                    server=channel.name,
+                    op_index=event.op_index,
+                    kind="disconnect",
+                    recoverable=False,
+                )
+            # DROP (round trip burned) or UNAVAILABLE (request went out,
+            # nobody answered): account the attempt on the retry lane,
+            # then back off and retry -- or give up.
+            if kind is FaultKind.DROP:
+                self.drops += 1
+                scope = "both"
+            else:
+                self.unavailable += 1
+                scope = "up"
+            with channel.fault_lane(scope):
+                account()
+            failures += 1
+            if failures >= self.retry.max_attempts:
+                fault = ChannelFault(
+                    f"exchange {label!r} to server {channel.name!r} failed "
+                    f"{failures} times ({kind.value})",
+                    server=channel.name,
+                    op_index=event.op_index,
+                    kind=kind.value,
+                    recoverable=True,
+                )
+                if kind is FaultKind.UNAVAILABLE:
+                    raise ServerUnavailable(
+                        f"server {channel.name!r} unavailable after {failures} "
+                        f"attempts at exchange {event.op_index} ({label!r})",
+                        server=channel.name,
+                        op_index=event.op_index,
+                        kind="unavailable",
+                        recoverable=True,
+                    )
+                raise RetryExhausted(
+                    f"retry budget exhausted on {label!r} to server "
+                    f"{channel.name!r} ({failures} attempts, last: {kind.value})",
+                    last_fault=fault,
+                )
+            self.retries += 1
+            self._advance(self.retry.backoff_for(failures), label)
+
+    def reset(self) -> None:
+        """Return the controller to its seeded origin for a fresh run.
+
+        Clears the simulated clock, all counters and the per-server fault
+        streams -- a session reused across runs draws the same event
+        sequence every time, exactly like a newly built stack.
+        """
+        self.elapsed_s = 0.0
+        self.exchanges = 0
+        self.attempts = 0
+        self.retries = 0
+        self.drops = 0
+        self.stalls = 0
+        self.duplicates_discarded = 0
+        self.unavailable = 0
+        self._injectors.clear()
+
+    def _advance(self, seconds: float, label: str) -> None:
+        """Advance the simulated clock, enforcing the deadline budget."""
+        self.elapsed_s += seconds
+        if self.deadline_s is not None and self.elapsed_s > self.deadline_s:
+            raise QueryTimeout(
+                f"query deadline budget exceeded during {label!r}: "
+                f"{self.elapsed_s:.3f}s simulated > {self.deadline_s:.3f}s budget"
+            )
+
+    # ------------------------------------------------------------------ #
+
+    def fault_events(self) -> Dict[str, Tuple[Tuple[int, str, str], ...]]:
+        """Per-server drawn fault sequences (the determinism fingerprint)."""
+        return {name: inj.event_tuples() for name, inj in sorted(self._injectors.items())}
+
+    def summary(self) -> Dict[str, object]:
+        """Counters + retry-lane totals, attached to ``JoinResult.resilience``."""
+        return {
+            "deadline_s": self.deadline_s,
+            "elapsed_s": self.elapsed_s,
+            "exchanges": self.exchanges,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "drops": self.drops,
+            "stalls": self.stalls,
+            "duplicates_discarded": self.duplicates_discarded,
+            "unavailable": self.unavailable,
+            "retry_bytes": {ch.name: ch.retry_bytes for ch in self._channels},
+            "fault_events": self.fault_events(),
+        }
 
 
 class RemoteServer(SpatialServerInterface):
@@ -53,14 +262,34 @@ class RemoteServer(SpatialServerInterface):
     channel:
         The accounting channel for this connection.  One channel per
         server; the experiment reads the totals from it.
+    resilience:
+        Optional shared :class:`ResilienceController`; when present every
+        exchange runs through its fault/retry protocol.
     """
 
-    def __init__(self, server: SpatialServer, channel: Channel) -> None:
+    def __init__(
+        self,
+        server: SpatialServer,
+        channel: Channel,
+        resilience: Optional[ResilienceController] = None,
+    ) -> None:
         self._server = server
         self.channel = channel
         self.name = server.name
+        self.resilience = resilience
 
     # ------------------------------------------------------------------ #
+
+    def _exchange(self, label: str, account: Callable[[], None]) -> None:
+        """Account one logical exchange, via the resilience layer if any.
+
+        The server evaluation must already have happened (exactly once)
+        when this is called; ``account`` only writes channel records.
+        """
+        if self.resilience is None:
+            account()
+        else:
+            self.resilience.exchange(self.channel, label, account)
 
     @property
     def config(self) -> NetworkConfig:
@@ -80,15 +309,23 @@ class RemoteServer(SpatialServerInterface):
     # ------------------------------------------------------------------ #
 
     def window(self, window: Rect) -> Tuple[np.ndarray, np.ndarray]:
-        self.channel.send_query(WindowQuery(window), label="window")
         mbrs, oids = self._server.window(window)
-        self.channel.send_response(ObjectPayload(mbrs, oids), label="window-result")
+
+        def account() -> None:
+            self.channel.send_query(WindowQuery(window), label="window")
+            self.channel.send_response(ObjectPayload(mbrs, oids), label="window-result")
+
+        self._exchange("window", account)
         return mbrs, oids
 
     def count(self, window: Rect) -> int:
-        self.channel.send_query(CountQuery(window), label="count")
         value = self._server.count(window)
-        self.channel.send_response(ScalarResponse(float(value)), label="count-result")
+
+        def account() -> None:
+            self.channel.send_query(CountQuery(window), label="count")
+            self.channel.send_response(ScalarResponse(float(value)), label="count-result")
+
+        self._exchange("count", account)
         return value
 
     def window_batch(
@@ -124,16 +361,22 @@ class RemoteServer(SpatialServerInterface):
         windows = list(windows)
         mbrs, oids, bounds = self._server.window_batch_flat(windows)
         if windows:
-            self.channel.send_uniform_batch(
-                WindowQuery(windows[0]), len(windows), direction="up", label="window"
-            )
-            object_bytes = self.config.object_bytes
-            self.channel.send_payload_batch(
-                MessageKind.OBJECTS,
-                [int(c) * object_bytes for c in np.diff(bounds).tolist()],
-                direction="down",
-                label="window-result",
-            )
+
+            def account() -> None:
+                self.channel.send_uniform_batch(
+                    WindowQuery(windows[0]), len(windows), direction="up", label="window"
+                )
+                object_bytes = self.config.object_bytes
+                self.channel.send_payload_batch(
+                    MessageKind.OBJECTS,
+                    [int(c) * object_bytes for c in np.diff(bounds).tolist()],
+                    direction="down",
+                    label="window-result",
+                )
+
+            # An empty batch never hits the wire, so it draws no fault
+            # event -- keeps fault streams aligned across execution paths.
+            self._exchange("window-batch", account)
         return mbrs, oids, bounds
 
     def count_batch(self, windows: Sequence[Rect]) -> List[int]:
@@ -168,8 +411,18 @@ class RemoteServer(SpatialServerInterface):
         return values
 
     def _account_count_batch(self, windows: List[Rect]) -> None:
-        """The shared ledger write of one batched COUNT exchange."""
-        if windows:
+        """The shared ledger write of one batched COUNT exchange.
+
+        Routed through :meth:`_exchange` with one label for both the
+        standalone (:meth:`count_batch`) and broker-coalesced
+        (:meth:`count_batch_prefetched`) paths, so a query draws the same
+        fault events whichever way it executes.  Empty batches never hit
+        the wire and draw nothing.
+        """
+        if not windows:
+            return
+
+        def account() -> None:
             self.channel.send_uniform_batch(
                 CountQuery(windows[0]), len(windows), direction="up", label="count"
             )
@@ -180,10 +433,16 @@ class RemoteServer(SpatialServerInterface):
                 label="count-result",
             )
 
+        self._exchange("count-batch", account)
+
     def range(self, center: Point, epsilon: float) -> Tuple[np.ndarray, np.ndarray]:
-        self.channel.send_query(RangeQuery(center, epsilon), label="range")
         mbrs, oids = self._server.range(center, epsilon)
-        self.channel.send_response(ObjectPayload(mbrs, oids), label="range-result")
+
+        def account() -> None:
+            self.channel.send_query(RangeQuery(center, epsilon), label="range")
+            self.channel.send_response(ObjectPayload(mbrs, oids), label="range-result")
+
+        self._exchange("range", account)
         return mbrs, oids
 
     def range_batch(
@@ -217,19 +476,23 @@ class RemoteServer(SpatialServerInterface):
         """
         mbrs, oids, bounds = self._server.range_batch_flat(centers, radii)
         if len(centers):
-            self.channel.send_uniform_batch(
-                RangeQuery(centers[0], float(radii[0])),
-                len(centers),
-                direction="up",
-                label="range",
-            )
-            object_bytes = self.config.object_bytes
-            self.channel.send_payload_batch(
-                MessageKind.OBJECTS,
-                [int(c) * object_bytes for c in np.diff(bounds).tolist()],
-                direction="down",
-                label="range-result",
-            )
+
+            def account() -> None:
+                self.channel.send_uniform_batch(
+                    RangeQuery(centers[0], float(radii[0])),
+                    len(centers),
+                    direction="up",
+                    label="range",
+                )
+                object_bytes = self.config.object_bytes
+                self.channel.send_payload_batch(
+                    MessageKind.OBJECTS,
+                    [int(c) * object_bytes for c in np.diff(bounds).tolist()],
+                    direction="down",
+                    label="range-result",
+                )
+
+            self._exchange("range-batch", account)
         return mbrs, oids, bounds
 
     def bucket_range(
@@ -240,22 +503,32 @@ class RemoteServer(SpatialServerInterface):
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         centers = tuple(centers)
         radii_tuple = tuple(float(r) for r in radii) if radii is not None else None
-        self.channel.send_query(
-            BucketRangeQuery(centers, epsilon, radii_tuple), label="bucket-range"
-        )
         mbrs, oids, probes = self._server.bucket_range(centers, epsilon, radii_tuple)
-        # Eq. 5 of the paper charges one extra object-sized separator per
-        # probe in the bucket response (the "+ Bobj" term).
-        self.channel.send_response(
-            ObjectPayload(mbrs, oids, per_probe_overhead_objects=len(centers)),
-            label="bucket-range-result",
-        )
+
+        def account() -> None:
+            self.channel.send_query(
+                BucketRangeQuery(centers, epsilon, radii_tuple), label="bucket-range"
+            )
+            # Eq. 5 of the paper charges one extra object-sized separator per
+            # probe in the bucket response (the "+ Bobj" term).
+            self.channel.send_response(
+                ObjectPayload(mbrs, oids, per_probe_overhead_objects=len(centers)),
+                label="bucket-range-result",
+            )
+
+        self._exchange("bucket-range", account)
         return mbrs, oids, probes
 
     def average_mbr_area(self, window: Rect) -> float:
-        self.channel.send_query(AggregateQuery(window, "avg_mbr_area"), label="aggregate")
         value = self._server.average_mbr_area(window)
-        self.channel.send_response(ScalarResponse(value), label="aggregate-result")
+
+        def account() -> None:
+            self.channel.send_query(
+                AggregateQuery(window, "avg_mbr_area"), label="aggregate"
+            )
+            self.channel.send_response(ScalarResponse(value), label="aggregate-result")
+
+        self._exchange("aggregate", account)
         return value
 
     # ------------------------------------------------------------------ #
@@ -280,20 +553,31 @@ class IndexedRemoteServer(RemoteServer):
 
     def tree_height(self) -> int:
         """Height of the server's R-tree (metadata; accounted as an aggregate)."""
-        self.channel.send_query(
-            AggregateQuery(self._server.dataset.bounds(), "count"), label="tree-height"
-        )
         height = self._server.index.rtree.height
-        self.channel.send_response(ScalarResponse(float(height)), label="tree-height-result")
+
+        def account() -> None:
+            self.channel.send_query(
+                AggregateQuery(self._server.dataset.bounds(), "count"),
+                label="tree-height",
+            )
+            self.channel.send_response(
+                ScalarResponse(float(height)), label="tree-height-result"
+            )
+
+        self._exchange("tree-height", account)
         return height
 
     def object_count(self) -> int:
         """Total object count (metadata; accounted as an aggregate exchange)."""
-        self.channel.send_query(
-            AggregateQuery(self._server.dataset.bounds(), "count"), label="size"
-        )
         n = len(self._server.dataset)
-        self.channel.send_response(ScalarResponse(float(n)), label="size-result")
+
+        def account() -> None:
+            self.channel.send_query(
+                AggregateQuery(self._server.dataset.bounds(), "count"), label="size"
+            )
+            self.channel.send_response(ScalarResponse(float(n)), label="size-result")
+
+        self._exchange("size", account)
         return n
 
     def level_mbrs(self) -> List[Rect]:
@@ -303,16 +587,23 @@ class IndexedRemoteServer(RemoteServer):
         number of MBRs (an MBR weighs one ``B_obj``, like any other spatial
         object on the wire).
         """
-        self.channel.send_query(
-            AggregateQuery(self._server.dataset.bounds(), "count"), label="level-mbrs"
-        )
         rects = self._server.index.rtree.second_to_last_level_mbrs()
         if rects:
             mbrs = np.array([r.as_tuple() for r in rects], dtype=np.float64)
         else:
             mbrs = np.empty((0, 4))
         oids = np.arange(mbrs.shape[0], dtype=np.int64)
-        self.channel.send_response(ObjectPayload(mbrs, oids), label="level-mbrs-result")
+
+        def account() -> None:
+            self.channel.send_query(
+                AggregateQuery(self._server.dataset.bounds(), "count"),
+                label="level-mbrs",
+            )
+            self.channel.send_response(
+                ObjectPayload(mbrs, oids), label="level-mbrs-result"
+            )
+
+        self._exchange("level-mbrs", account)
         return rects
 
     def upload_windows_and_collect(
@@ -356,12 +647,6 @@ class IndexedRemoteServer(RemoteServer):
         if not windows:
             return np.empty((0, 4)), np.empty(0, dtype=np.int64)
         win_arr = np.array([w.as_tuple() for w in windows], dtype=np.float64)
-        self.channel.send_query(
-            BucketRangeQuery(tuple(Point(float(w[0]), float(w[1])) for w in win_arr), 0.0),
-            label="semijoin-windows",
-        )
-        # The probe payload above only accounts the query string + one
-        # object per window; exactly what shipping the MBR list costs.
         if flat:
             all_mbrs, all_oids, _ = self._server.window_batch_flat(list(windows))
         else:
@@ -380,9 +665,21 @@ class IndexedRemoteServer(RemoteServer):
         keep = np.sort(first)
         mbrs_out = all_mbrs[keep]
         oids_out = all_oids[keep]
-        self.channel.send_response(
-            ObjectPayload(mbrs_out, oids_out), label="semijoin-objects"
-        )
+
+        def account() -> None:
+            self.channel.send_query(
+                BucketRangeQuery(
+                    tuple(Point(float(w[0]), float(w[1])) for w in win_arr), 0.0
+                ),
+                label="semijoin-windows",
+            )
+            # The probe payload above only accounts the query string + one
+            # object per window; exactly what shipping the MBR list costs.
+            self.channel.send_response(
+                ObjectPayload(mbrs_out, oids_out), label="semijoin-objects"
+            )
+
+        self._exchange("semijoin-windows", account)
         return mbrs_out, oids_out
 
     def upload_objects_and_join(
@@ -407,16 +704,6 @@ class IndexedRemoteServer(RemoteServer):
 
         if mbrs.shape[0] == 0:
             return []
-        self.channel.send_query(
-            BucketRangeQuery(
-                tuple(
-                    Point(float((m[0] + m[2]) / 2.0), float((m[1] + m[3]) / 2.0))
-                    for m in mbrs
-                ),
-                max(epsilon, 0.0),
-            ),
-            label="semijoin-upload",
-        )
         predicate = (
             WithinDistancePredicate(epsilon=epsilon)
             if epsilon > 0
@@ -428,9 +715,23 @@ class IndexedRemoteServer(RemoteServer):
         )
         result_mbrs = np.zeros((len(pairs), 4), dtype=np.float64)
         result_oids = np.arange(len(pairs), dtype=np.int64)
-        self.channel.send_response(
-            ObjectPayload(result_mbrs, result_oids), label="semijoin-result"
-        )
+
+        def account() -> None:
+            self.channel.send_query(
+                BucketRangeQuery(
+                    tuple(
+                        Point(float((m[0] + m[2]) / 2.0), float((m[1] + m[3]) / 2.0))
+                        for m in mbrs
+                    ),
+                    max(epsilon, 0.0),
+                ),
+                label="semijoin-upload",
+            )
+            self.channel.send_response(
+                ObjectPayload(result_mbrs, result_oids), label="semijoin-result"
+            )
+
+        self._exchange("semijoin-upload", account)
         return pairs
 
 
@@ -466,10 +767,22 @@ class ServerPair:
         server_s: SpatialServer,
         config: Optional[NetworkConfig] = None,
         indexed: bool = False,
+        resilience: Optional[ResilienceController] = None,
     ) -> "ServerPair":
-        """Create metered connections to two servers with a shared config."""
+        """Create metered connections to two servers with a shared config.
+
+        ``resilience`` (if given) is shared by both proxies: one retry
+        policy, one deadline budget and one fault-plan instantiation per
+        query, with a separate deterministic fault stream per server.
+        """
         config = config or NetworkConfig()
         proxy_cls = IndexedRemoteServer if indexed else RemoteServer
         chan_r = Channel(config, tariff=config.tariff_r, name=server_r.name)
         chan_s = Channel(config, tariff=config.tariff_s, name=server_s.name)
-        return ServerPair(r=proxy_cls(server_r, chan_r), s=proxy_cls(server_s, chan_s))
+        if resilience is not None:
+            resilience.register(chan_r)
+            resilience.register(chan_s)
+        return ServerPair(
+            r=proxy_cls(server_r, chan_r, resilience=resilience),
+            s=proxy_cls(server_s, chan_s, resilience=resilience),
+        )

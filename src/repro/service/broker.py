@@ -60,8 +60,9 @@ from repro.core.costmodel import CalibratedCostModel
 from repro.core.planner import PlanDecision, build_algorithm, select_algorithm
 from repro.core.result import JoinResult
 from repro.device.pda import MobileDevice
+from repro.errors import QueryTimeout, ReproError, ServerUnavailable
 from repro.network.config import NetworkConfig
-from repro.server.remote import ServerPair
+from repro.server.remote import ResilienceController, ServerPair
 from repro.server.server import SpatialServer
 from repro.service.cache import ResultCache, dataset_token, query_key
 from repro.service.executor import WaveExecutor, audit_ledger_isolation
@@ -93,6 +94,12 @@ class BrokerStats:
     standalone_exchanges: int = 0
     #: COUNT windows answered through coalesced exchanges.
     coalesced_count_queries: int = 0
+    #: Queries that ended ``failed`` / ``timeout`` (isolated from their
+    #: wave; the rest of the wave completed untouched).
+    queries_failed: int = 0
+    #: Queries shed up front because a backing server's circuit breaker
+    #: was open (they count into ``queries_failed`` as well).
+    breaker_rejections: int = 0
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -129,6 +136,27 @@ class _Admitted:
     pending: Optional[Dict[str, list]] = None
     result: Optional[JoinResult] = None
     fingerprints: Optional[Tuple[Tuple, Tuple]] = None
+    #: The typed error that isolated this query from its wave, if any.
+    failure: Optional[BaseException] = None
+
+
+@dataclass
+class _Breaker:
+    """Per-backing-server circuit breaker state.
+
+    Holding a strong reference to the base server keeps ``id(base)`` --
+    the breaker registry key -- from being reused by a new server object.
+
+    States: *closed* while ``open_until_wave`` is ``None``; *open* (shed
+    every query touching this server) until the broker's wave counter
+    reaches ``open_until_wave``; then *half-open* -- the next query probes
+    the server, with ``failures`` primed one short of the threshold so a
+    single failed probe re-opens the breaker while a success closes it.
+    """
+
+    base: SpatialServer
+    failures: int = 0
+    open_until_wave: Optional[int] = None
 
 
 @dataclass
@@ -175,6 +203,13 @@ class QueryBroker:
         under any worker count.
     index_fanout:
         Fanout of server indexes built by the broker's server cache.
+    breaker_threshold:
+        Consecutive :class:`ServerUnavailable` failures against one
+        backing server before its circuit breaker opens and the broker
+        sheds further queries to it without executing.
+    breaker_cooldown_waves:
+        Waves an open breaker stays open before going half-open (one
+        probing query decides between closing and re-opening).
     """
 
     def __init__(
@@ -186,9 +221,15 @@ class QueryBroker:
         calibrate: bool = False,
         workers: int = 0,
         index_fanout: int = 16,
+        breaker_threshold: int = 3,
+        breaker_cooldown_waves: int = 2,
     ) -> None:
         if max_wave < 1:
             raise ValueError("max_wave must be >= 1")
+        if breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if breaker_cooldown_waves < 1:
+            raise ValueError("breaker_cooldown_waves must be >= 1")
         self.config = config or NetworkConfig()
         self.max_wave = max_wave
         self.index_fanout = index_fanout
@@ -206,6 +247,14 @@ class QueryBroker:
         self._lock = threading.RLock()
         self._pending: List[_Admitted] = []
         self._servers: Dict[Tuple, Tuple[SpatialServer, SpatialServer]] = {}
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_waves = breaker_cooldown_waves
+        #: Circuit breakers keyed by ``id(base server)``; entries hold a
+        #: strong server reference so ids are never reused while tracked.
+        self._breakers: Dict[int, _Breaker] = {}
+        #: Monotone wave clock driving breaker cooldowns (counts every
+        #: executed wave across all ``execute()`` calls).
+        self._wave_counter = 0
 
     @property
     def workers(self) -> int:
@@ -307,6 +356,26 @@ class QueryBroker:
         for wave_index, wave in enumerate(waves):
             self._execute_wave(wave, wave_index)
             for entry in wave:
+                if entry.failure is not None:
+                    # Graceful degradation: the failed query is isolated
+                    # from its wave -- no cached result, no calibration,
+                    # a typed error on the outcome.
+                    entry.outcome = QueryOutcome(
+                        query=entry.query,
+                        result=None,
+                        plan=entry.plan,
+                        status=(
+                            "timeout"
+                            if isinstance(entry.failure, QueryTimeout)
+                            else "failed"
+                        ),
+                        error=entry.failure,
+                        cached=False,
+                        wave=wave_index,
+                        ledger_fingerprints=entry.fingerprints,
+                    )
+                    self.stats.bump(queries_failed=1)
+                    continue
                 assert entry.result is not None
                 # put() deep-freezes the result in place (same object), so
                 # the outcome below and every later cache hit share one
@@ -321,25 +390,32 @@ class QueryBroker:
                     ledger_fingerprints=entry.fingerprints,
                 )
             self.stats.bump(waves=1, queries_executed=len(wave))
-        # Followers share their leader's result (one execution per key).
+        # Followers share their leader's result (one execution per key) --
+        # or its failure, since nothing was cached for them to read.
         for entry in followers:
             leader = leaders[entry.key]
             assert leader.outcome is not None
+            lead = leader.outcome
             entry.outcome = QueryOutcome(
                 query=entry.query,
-                result=leader.outcome.result,
+                result=lead.result,
                 plan=entry.plan,
-                cached=True,
-                wave=leader.outcome.wave,
+                status=lead.status,
+                error=lead.error,
+                cached=lead.status == "ok",
+                wave=lead.wave,
             )
-            self.stats.bump(cache_hits=1)
+            if lead.status == "ok":
+                self.stats.bump(cache_hits=1)
+            else:
+                self.stats.bump(queries_failed=1)
         outcomes = []
         for entry in sorted(batch, key=lambda e: e.index):
             assert entry.outcome is not None
             outcomes.append(entry.outcome)
         if self.calibrate:
             for outcome in outcomes:
-                if not outcome.cached:
+                if not outcome.cached and outcome.status == "ok":
                     self._observe(outcome)
         return outcomes
 
@@ -424,11 +500,21 @@ class QueryBroker:
         self._prime_snapshot(base_s)
         entry.base_r, entry.base_s = base_r, base_s
         algorithm = entry.plan.algorithm
+        resilience = None
+        if (
+            query.faults is not None
+            or query.retry is not None
+            or query.deadline_s is not None
+        ):
+            resilience = ResilienceController(
+                faults=query.faults, retry=query.retry, deadline_s=query.deadline_s
+            )
         pair = ServerPair.connect(
             base_r.shared_view(),
             base_s.shared_view(),
             config=query.config or self.config,
             indexed=algorithm == "semijoin",
+            resilience=resilience,
         )
         entry.device = MobileDevice(pair, buffer_size=query.buffer_size)
         kwargs: Dict[str, object] = {}
@@ -464,6 +550,93 @@ class QueryBroker:
                 answers[server_name] = []
         QueryBroker._advance(entry, answers)
 
+    # -------------------------- circuit breaker ----------------------- #
+
+    def _check_breaker(self, entry: _Admitted) -> None:
+        """Shed the query up front if a backing server's breaker is open.
+
+        An open breaker past its cooldown flips to half-open: the query
+        is let through as the probe, with the failure count primed one
+        short of the threshold so a single failed probe re-opens it.
+        """
+        base_r, base_s = self._base_servers(entry.query)
+        entry.base_r, entry.base_s = base_r, base_s
+        for base in (base_r, base_s):
+            breaker = self._breakers.get(id(base))
+            if breaker is None or breaker.open_until_wave is None:
+                continue
+            if self._wave_counter < breaker.open_until_wave:
+                self.stats.bump(breaker_rejections=1)
+                raise ServerUnavailable(
+                    f"circuit breaker open for server {base.name!r} "
+                    f"(until wave {breaker.open_until_wave}, "
+                    f"now {self._wave_counter})",
+                    server=base.name,
+                    kind="breaker",
+                    recoverable=False,
+                )
+            # Half-open: probe with this query.
+            breaker.open_until_wave = None
+            breaker.failures = self.breaker_threshold - 1
+
+    def _base_for_server_name(self, entry: _Admitted, server_name: Optional[str]):
+        if server_name is None:
+            return None
+        return entry.base_r if server_name.upper() == "R" else entry.base_s
+
+    def _note_entry_failure(self, entry: _Admitted, error: BaseException) -> None:
+        """Feed a query failure into the breaker bookkeeping.
+
+        Only genuine :class:`ServerUnavailable` verdicts count (an
+        unavailability window outlasting the retry budget) -- not breaker
+        fast-fails (kind ``"breaker"``), and not drop-induced retry
+        exhaustion or timeouts, which say nothing about the *server*.
+        """
+        if not isinstance(error, ServerUnavailable) or error.kind == "breaker":
+            return
+        base = self._base_for_server_name(entry, error.server)
+        if base is None:
+            return
+        breaker = self._breakers.get(id(base))
+        if breaker is None:
+            breaker = self._breakers[id(base)] = _Breaker(base)
+        breaker.failures += 1
+        if breaker.failures >= self.breaker_threshold:
+            breaker.open_until_wave = (
+                self._wave_counter + 1 + self.breaker_cooldown_waves
+            )
+
+    def _note_entry_success(self, entry: _Admitted) -> None:
+        """A completed query closes the breakers of both its servers."""
+        for base in (entry.base_r, entry.base_s):
+            if base is None:
+                continue
+            breaker = self._breakers.get(id(base))
+            if breaker is not None and breaker.open_until_wave is None:
+                breaker.failures = 0
+
+    def _fail_entry(self, entry: _Admitted, error: BaseException) -> None:
+        """Isolate one failed query from its wave."""
+        entry.failure = error
+        entry.pending = None
+        if entry.gen is not None:
+            entry.gen.close()
+        self._note_entry_failure(entry, error)
+
+    def _settle(self, entries: List[_Admitted], errors: List) -> None:
+        """Apply per-query fan-out failures: typed faults isolate the
+        query; anything else is a bug and propagates (discarding the
+        batch, exactly as before the resilience layer existed)."""
+        for entry, error in zip(entries, errors):
+            if error is None:
+                continue
+            if isinstance(error, ReproError):
+                self._fail_entry(entry, error)
+            else:
+                raise error
+
+    # ------------------------------------------------------------------ #
+
     def _execute_wave(self, wave: List[_Admitted], wave_index: int) -> None:
         """Drive all queries of one wave in lock-step coalesced rounds.
 
@@ -472,17 +645,37 @@ class QueryBroker:
         ``workers=0``); the coalesced COUNT evaluation stays on this
         thread, gathered and answered in submission order, so it is both
         the physical rendezvous and the determinism barrier.
+
+        A query that raises a typed :class:`~repro.errors.ReproError` --
+        an unrecoverable channel fault, retry exhaustion, a deadline
+        timeout, an open breaker -- is isolated via :meth:`_fail_entry`:
+        its generator is closed, its failure recorded, and the rest of
+        the wave continues bit-identically (each query's fault stream and
+        ledger are private, so a neighbour's failure cannot perturb
+        them).  Anything else is a programming error and keeps the
+        pre-resilience contract: it propagates and discards the batch.
         """
+        self._wave_counter += 1
+        building: List[_Admitted] = []
         for entry in wave:
-            self._build_stack(entry)
-        if self.executor.workers:
+            try:
+                self._check_breaker(entry)
+                self._build_stack(entry)
+            except ReproError as error:
+                self._fail_entry(entry, error)
+                continue
+            building.append(entry)
+        if self.executor.workers and building:
             # Concurrent advances must never share mutable session state;
             # refuse the wave rather than corrupt ledgers silently.
-            audit_ledger_isolation([entry.device for entry in wave])
+            audit_ledger_isolation([entry.device for entry in building])
         # Priming runs non-cooperative queries to completion on their own
         # stack; frontier queries stop at their first COUNT round.
-        self.executor.map(lambda entry: self._advance(entry, None), wave)
-        active = [entry for entry in wave if entry.pending is not None]
+        self._settle(
+            building,
+            self.executor.map_settle(lambda entry: self._advance(entry, None), building),
+        )
+        active = [entry for entry in building if entry.pending is not None]
         while active:
             # Gather: one group per backing server across all active
             # queries, in submission order (coordinating thread only).
@@ -512,17 +705,26 @@ class QueryBroker:
             # have.  The answer slices are fixed before the fan-out, and
             # every advance touches only query-private state, so the pool's
             # scheduling cannot influence any query's measurements.
-            self.executor.map(
-                lambda entry: self._attribute_and_advance(entry, answers_for), active
+            self._settle(
+                active,
+                self.executor.map_settle(
+                    lambda entry: self._attribute_and_advance(entry, answers_for),
+                    active,
+                ),
             )
             active = [entry for entry in active if entry.pending is not None]
         for entry in wave:
-            # Keep the ledger digest for provenance, then release the
-            # per-query execution state (results are kept).
-            entry.fingerprints = (
-                entry.device.servers.r.channel.ledger_fingerprint(),
-                entry.device.servers.s.channel.ledger_fingerprint(),
-            )
+            # Keep the ledger digest for provenance (also for failed
+            # queries whose stack got built: the primary lane must hold
+            # no trace of the failure), then release the per-query
+            # execution state (results are kept).
+            if entry.device is not None:
+                entry.fingerprints = (
+                    entry.device.servers.r.channel.ledger_fingerprint(),
+                    entry.device.servers.s.channel.ledger_fingerprint(),
+                )
+            if entry.failure is None:
+                self._note_entry_success(entry)
             entry.gen = None
             entry.device = None
 

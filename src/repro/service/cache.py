@@ -96,6 +96,20 @@ def _freeze_stats(mapping) -> FrozenDict:
     )
 
 
+def _freeze_deep(value):
+    """Recursively freeze nested dict/list containers (tuples kept as-is).
+
+    The resilience summary nests dicts inside dicts (per-server retry
+    bytes, per-server fault-event tuples); one-level freezing is not
+    enough there.
+    """
+    if isinstance(value, dict):
+        return FrozenDict((k, _freeze_deep(v)) for k, v in value.items())
+    if isinstance(value, list):
+        return FrozenList(_freeze_deep(v) for v in value)
+    return value
+
+
 def freeze_result(result: JoinResult) -> JoinResult:
     """Deep-freeze a result in place; returns the same object.
 
@@ -117,6 +131,8 @@ def freeze_result(result: JoinResult) -> JoinResult:
     result.server_stats = _freeze_stats(result.server_stats)
     result.channel_stats = _freeze_stats(result.channel_stats)
     result.trace = FrozenList(result.trace)
+    if result.resilience is not None:
+        result.resilience = _freeze_deep(result.resilience)
     result._frozen = True
     return result
 
@@ -180,6 +196,13 @@ def query_key(query: JoinQuery, algorithm: str, default_config) -> Tuple:
         query.resolved_params(),
         query.resolved_window().as_tuple(),
         config,
+        # Resilience knobs: a fault-injected run's primary lane is pinned
+        # bit-identical to the fault-free run, but its resilience summary
+        # (and failure mode) is not -- different plans must not share an
+        # entry.
+        query.faults,
+        query.retry,
+        query.deadline_s,
     )
 
 

@@ -43,6 +43,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.errors import LedgerIsolationError, QueryTimeout, ServiceClosed
 from repro.service.query import JoinQuery, QueryOutcome
 
 __all__ = ["QueryService", "WaveExecutor", "audit_ledger_isolation"]
@@ -56,9 +57,10 @@ def audit_ledger_isolation(devices: Sequence) -> None:
     channels and their per-query statistics -- must belong to exactly one
     query.  The shared base servers (datasets, index snapshots) are
     deliberately *not* audited: they are read-only during a join and
-    sharing them is the whole point of the service.  Raises ``RuntimeError``
-    naming the aliased component, because executing such a wave on a pool
-    would corrupt ledgers nondeterministically.
+    sharing them is the whole point of the service.  Raises
+    :class:`~repro.errors.LedgerIsolationError` (a ``RuntimeError``) naming
+    the aliased component, because executing such a wave on a pool would
+    corrupt ledgers nondeterministically.
     """
     seen: Dict[int, str] = {}
     for position, device in enumerate(devices):
@@ -76,7 +78,7 @@ def audit_ledger_isolation(devices: Sequence) -> None:
         for label, obj in components.items():
             owner = seen.setdefault(id(obj), f"query #{position}")
             if owner != f"query #{position}":
-                raise RuntimeError(
+                raise LedgerIsolationError(
                     f"ledger isolation violated: {label} of query #{position} "
                     f"is aliased with state of {owner}; refusing to execute "
                     "the wave on a worker pool"
@@ -137,6 +139,43 @@ class WaveExecutor:
         failures = [entry for entry in failures if entry is not None]
         if failures:
             raise min(failures)[1]
+
+    def map_settle(
+        self, fn: Callable, items: Sequence
+    ) -> List[Optional[BaseException]]:
+        """Run ``fn(item)`` for every item; collect per-item failures.
+
+        Unlike :meth:`map`, a failing item does not short-circuit anything:
+        every item runs (the wave's graceful-degradation contract -- one
+        query's channel fault must not abort its neighbours), and the
+        returned list holds each item's exception or ``None``, in item
+        order.  The inline and pooled paths behave identically.
+        """
+        results: List[Optional[BaseException]] = [None] * len(items)
+        if self.workers == 0 or len(items) <= 1:
+            for index, item in enumerate(items):
+                try:
+                    fn(item)
+                except Exception as error:  # noqa: BLE001 -- settled per item
+                    results[index] = error
+            return results
+        pool = self._ensure_pool()
+        chunks = max(1, min(self.workers, len(items)))
+        step = -(-len(items) // chunks)
+        bounds = [(start, items[start : start + step])
+                  for start in range(0, len(items), step)]
+
+        def run_chunk(start: int, chunk: Sequence):
+            for offset, item in enumerate(chunk):
+                try:
+                    fn(item)
+                except Exception as error:  # noqa: BLE001 -- settled per item
+                    results[start + offset] = error
+
+        futures = [pool.submit(run_chunk, start, chunk) for start, chunk in bounds]
+        for future in futures:
+            future.result()
+        return results
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         with self._pool_lock:
@@ -256,7 +295,7 @@ class QueryService:
         """
         with self._wake:
             if self._closed:
-                raise RuntimeError("QueryService is closed")
+                raise ServiceClosed("QueryService is closed")
             ticket = _Ticket(
                 index=self._next_ticket,
                 query=query,
@@ -280,13 +319,14 @@ class QueryService:
     def result(self, ticket: int, timeout: Optional[float] = None) -> QueryOutcome:
         """Block until the ticket completes; returns its outcome.
 
-        Re-raises the execution error if the query's batch failed.  The
-        ticket is released on successful collection; collecting it twice
-        raises ``KeyError``.
+        Re-raises the execution error if the query's batch failed, and a
+        typed :class:`~repro.errors.QueryTimeout` (a ``TimeoutError``)
+        when ``timeout`` expires first.  The ticket is released on
+        successful collection; collecting it twice raises ``KeyError``.
         """
         entry = self._ticket(ticket)
         if not entry.done.wait(timeout):
-            raise TimeoutError(f"ticket {ticket} not completed within {timeout}s")
+            raise QueryTimeout(f"ticket {ticket} not completed within {timeout}s")
         with self._wake:
             self._tickets.pop(ticket, None)
         if entry.error is not None:
@@ -301,16 +341,32 @@ class QueryService:
             while self._unfinished:
                 remaining = None if deadline is None else deadline - time.monotonic()
                 if remaining is not None and remaining <= 0:
-                    raise TimeoutError(
+                    raise QueryTimeout(
                         f"{self._unfinished} queries still in flight after {timeout}s"
                     )
                 self._wake.wait(remaining)
 
-    def close(self, wait: bool = True) -> None:
-        """Stop admitting; finish the queued work, then stop the loop."""
+    def close(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Stop admitting; finish the queued work, then stop the loop.
+
+        ``cancel_pending=True`` instead fails every not-yet-started ticket
+        with a typed :class:`~repro.errors.ServiceClosed` -- their
+        ``result()`` waiters wake with the error rather than waiting for
+        work that will never run.  Queries already inside an executing
+        wave still complete either way.
+        """
+        cancelled: List[_Ticket] = []
         with self._wake:
             self._closed = True
+            if cancel_pending:
+                cancelled = list(self._queue)
+                self._queue.clear()
             self._wake.notify_all()
+        for ticket in cancelled:
+            ticket.error = ServiceClosed(
+                f"QueryService closed before ticket {ticket.index} was executed"
+            )
+            self._finish(ticket)
         if wait:
             self._thread.join()
             self.broker.executor.close()
@@ -331,26 +387,50 @@ class QueryService:
 
     def _serve_loop(self) -> None:
         max_wave = self.broker.max_wave
-        while True:
+        try:
+            while True:
+                with self._wake:
+                    while not self._queue and not self._closed:
+                        self._wake.wait()
+                    if not self._queue:
+                        return  # closed and fully drained
+                    batch = [
+                        self._queue.popleft()
+                        for _ in range(min(max_wave, len(self._queue)))
+                    ]
+                try:
+                    outcomes = self.broker.run_batch([t.query for t in batch])
+                except BaseException as error:  # noqa: BLE001 -- forwarded to waiters
+                    self._publish_failure(batch, error)
+                    continue
+                if len(outcomes) != len(batch):
+                    self._publish_failure(
+                        batch,
+                        ServiceClosed(
+                            f"broker returned {len(outcomes)} outcomes for a "
+                            f"batch of {len(batch)} queries"
+                        ),
+                    )
+                    continue
+                completed_at = time.perf_counter()
+                for ticket, outcome in zip(batch, outcomes):
+                    outcome.ticket = ticket.index
+                    outcome.service_latency_s = completed_at - ticket.submitted_at
+                    ticket.outcome = outcome
+                    self._finish(ticket)
+        finally:
+            # The loop is exiting -- orderly or because something above
+            # escaped.  A waiter blocked in result()/drain() must never
+            # hang on a ticket nobody will execute: fail everything still
+            # undone with a typed shutdown error.
             with self._wake:
-                while not self._queue and not self._closed:
-                    self._wake.wait()
-                if not self._queue:
-                    return  # closed and fully drained
-                batch = [
-                    self._queue.popleft()
-                    for _ in range(min(max_wave, len(self._queue)))
-                ]
-            try:
-                outcomes = self.broker.run_batch([t.query for t in batch])
-            except BaseException as error:  # noqa: BLE001 -- forwarded to waiters
-                self._publish_failure(batch, error)
-                continue
-            completed_at = time.perf_counter()
-            for ticket, outcome in zip(batch, outcomes):
-                outcome.ticket = ticket.index
-                outcome.service_latency_s = completed_at - ticket.submitted_at
-                ticket.outcome = outcome
+                leftovers = [t for t in self._tickets.values() if not t.done.is_set()]
+                self._queue.clear()
+            for ticket in leftovers:
+                ticket.error = ServiceClosed(
+                    f"QueryService admission loop stopped before ticket "
+                    f"{ticket.index} completed"
+                )
                 self._finish(ticket)
 
     def _publish_failure(self, batch: List[_Ticket], error: BaseException) -> None:
@@ -359,9 +439,14 @@ class QueryService:
             self._finish(ticket)
 
     def _finish(self, ticket: _Ticket) -> None:
+        if ticket.done.is_set():
+            return
         ticket.done.set()
         if ticket.callback is not None and ticket.outcome is not None:
-            ticket.callback(ticket.outcome)
+            try:
+                ticket.callback(ticket.outcome)
+            except Exception:  # noqa: BLE001 -- a client callback must not
+                pass  # kill the admission loop; result() still works.
         with self._wake:
             self._unfinished -= 1
             self._wake.notify_all()

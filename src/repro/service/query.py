@@ -27,6 +27,7 @@ from repro.core.result import JoinResult
 from repro.datasets.dataset import SpatialDataset
 from repro.geometry.rect import Rect
 from repro.network.config import NetworkConfig
+from repro.network.faults import FaultPlan, RetryPolicy
 from repro.server.server import SpatialServer
 
 __all__ = ["JoinQuery", "QueryOutcome"]
@@ -70,6 +71,15 @@ class JoinQuery:
         Optional pre-built base ``(server_r, server_s)`` pair (e.g. from
         the experiment harness's workload cache); the broker still hands
         the execution its own statistics views of them.
+    faults:
+        Optional seeded :class:`~repro.network.faults.FaultPlan` to inject
+        into this query's channels (chaos testing / resilience drills).
+    retry:
+        Optional :class:`~repro.network.faults.RetryPolicy`; defaults to
+        the standard policy when a resilience stack is attached.
+    deadline_s:
+        Optional per-query deadline budget in simulated seconds; crossing
+        it fails the query with a typed ``QueryTimeout``.
     """
 
     dataset_r: SpatialDataset
@@ -84,6 +94,9 @@ class JoinQuery:
     servers: Optional[Tuple[SpatialServer, SpatialServer]] = field(
         default=None, compare=False
     )
+    faults: Optional["FaultPlan"] = None
+    retry: Optional["RetryPolicy"] = None
+    deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.buffer_size <= 0:
@@ -111,11 +124,22 @@ class JoinQuery:
 
 @dataclass
 class QueryOutcome:
-    """One executed (or cache-served) query, with full provenance."""
+    """One executed (or cache-served) query, with full provenance.
+
+    ``status`` is the degradation contract of PR 7: ``"ok"`` outcomes
+    carry a result exactly as before; ``"failed"`` / ``"timeout"``
+    outcomes carry ``result=None`` plus the typed ``error`` that isolated
+    this query from its wave (the rest of the wave completed untouched).
+    """
 
     query: JoinQuery
-    result: JoinResult
+    result: Optional[JoinResult]
     plan: PlanDecision
+    #: ``"ok"``, ``"failed"`` (unrecoverable fault / retry exhaustion) or
+    #: ``"timeout"`` (per-query deadline budget exceeded).
+    status: str = "ok"
+    #: The typed error that failed the query (``None`` when ``ok``).
+    error: Optional[BaseException] = None
     #: True when the result came from the cache (warm hit or an identical
     #: query earlier in the same submission); the result object is shared
     #: with the execution that produced it.

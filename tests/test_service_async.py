@@ -383,3 +383,82 @@ class TestQueryService:
         service = QueryService(broker)
         assert service.broker is broker
         service.close()
+
+
+# --------------------------------------------------------------------------- #
+# typed service errors (PR 7)
+# --------------------------------------------------------------------------- #
+
+
+class TestTypedServiceErrors:
+    """The service lane's failure surface is typed: waiters time out with
+    :class:`~repro.errors.QueryTimeout` (still a ``TimeoutError``),
+    cancelled tickets fail with :class:`~repro.errors.ServiceClosed`
+    (still a ``RuntimeError``), and a client callback that raises never
+    kills the admission loop."""
+
+    def test_result_timeout_is_typed(self):
+        from repro.errors import QueryTimeout
+
+        r, s = _datasets()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def blocker(_outcome):
+            entered.set()
+            release.wait(60)
+
+        with QueryService(cache=False) as service:
+            first = service.submit(_query(r, s), callback=blocker)
+            assert entered.wait(60)
+            # The admission loop is wedged inside the first callback; this
+            # ticket cannot complete yet.
+            second = service.submit(_query(r, s, algorithm="naive"))
+            with pytest.raises(QueryTimeout) as exc:
+                service.result(second, timeout=0.05)
+            assert isinstance(exc.value, TimeoutError)  # back-compat
+            release.set()
+            assert service.result(first, timeout=60).result.num_pairs > 0
+            assert service.result(second, timeout=60).result.num_pairs > 0
+
+    def test_close_cancel_pending_fails_tickets_with_typed_error(self):
+        from repro.errors import ServiceClosed
+
+        r, s = _datasets()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def blocker(_outcome):
+            entered.set()
+            release.wait(60)
+
+        service = QueryService(cache=False)
+        first = service.submit(_query(r, s), callback=blocker)
+        assert entered.wait(60)
+        # Queued behind the wedged loop: these never start.
+        parked = service.submit_all(
+            [_query(r, s, algorithm=a) for a in ("naive", "srjoin")]
+        )
+        service.close(wait=False, cancel_pending=True)
+        for ticket in parked:
+            assert service.poll(ticket)
+            with pytest.raises(ServiceClosed) as exc:
+                service.result(ticket, timeout=0)
+            assert isinstance(exc.value, RuntimeError)  # back-compat
+        release.set()
+        service.close(wait=True)
+        # The in-flight query still completed normally.
+        assert service.result(first, timeout=0).result.num_pairs > 0
+        with pytest.raises(ServiceClosed):
+            service.submit(_query(r, s))
+
+    def test_raising_callback_does_not_kill_the_loop(self):
+        def bomb(_outcome):
+            raise RuntimeError("client callback exploded")
+
+        r, s = _datasets()
+        with QueryService(cache=False) as service:
+            first = service.submit(_query(r, s), callback=bomb)
+            second = service.submit(_query(r, s, algorithm="naive"))
+            assert service.result(first, timeout=60).result.num_pairs > 0
+            assert service.result(second, timeout=60).result.num_pairs > 0
