@@ -1,13 +1,18 @@
 """Merge every per-PR speedup record into one machine-readable trajectory.
 
 Each perf-lane benchmark (``pytest -m perf benchmarks/``) writes its own
-``benchmarks/results/<name>_speedup.json`` (``<name>_load.json`` for the
-sustained-throughput lane, ``<name>_overhead.json`` for no-regression
-overhead gates like the resilience layer's) record.  This script folds all of them into
-``benchmarks/results/summary.json`` so the performance trajectory of the
-repository stays readable in one place::
+record under ``benchmarks/results/`` -- ``<name>_speedup.json``,
+``<name>_load.json``, ``<name>_overhead.json``, ``<name>_scaling.json``, or
+any future family.  This script folds **every** ``results/*.json`` file
+(except the summary itself) into ``benchmarks/results/summary.json`` so the
+performance trajectory of the repository stays readable in one place::
 
     PYTHONPATH=src python benchmarks/collect.py
+
+Earlier versions matched only the record-name suffixes known at the time,
+so a new record family was silently excluded from the summary *and* from
+the regression gate -- the worst possible failure mode for a gate.  The
+glob is now suffix-agnostic.
 
 The summary maps each record name (the file stem) to its content plus the
 headline speedup(s) pulled to the top level for quick scanning; records
@@ -16,8 +21,10 @@ headline entry per algorithm.
 
 ``--check`` additionally runs the regression gate: every recorded speedup
 that states its own ``min_speedup`` threshold (top-level or per
-algorithm/case) must still meet it, otherwise the script exits non-zero
-listing the offenders.  The same gate runs as a ``perf``-marked test
+algorithm/case) must still meet it, and every record must gate *something*
+-- a record with no ``min_speedup`` floor anywhere fails the check rather
+than passing silently.  Violations exit non-zero with one line per
+offender.  The same gate runs as a ``perf``-marked test
 (``benchmarks/bench_collect.py``), so ``pytest -m perf benchmarks/`` fails
 loudly when a recorded speedup drops below its stated floor.
 """
@@ -50,14 +57,19 @@ def _headline_speedups(name: str, record: Dict) -> Dict[str, float]:
 
 
 def collect(results_dir: Path = RESULTS_DIR) -> Dict:
-    """Read every speedup/load record and assemble the summary."""
+    """Read every benchmark record and assemble the summary.
+
+    Every ``*.json`` in the results directory is a record except the
+    summary itself -- new record families are picked up (and gated)
+    without touching this script.
+    """
     records: Dict[str, Dict] = {}
     headline: Dict[str, float] = {}
-    paths = (
-        set(results_dir.glob("*_speedup.json"))
-        | set(results_dir.glob("*_load.json"))
-        | set(results_dir.glob("*_overhead.json"))
-    )
+    paths = [
+        path
+        for path in results_dir.glob("*.json")
+        if path.name != SUMMARY_PATH.name
+    ]
     for path in sorted(paths):
         try:
             record = json.loads(path.read_text())
@@ -105,11 +117,20 @@ def check(summary: Dict) -> List[str]:
     """The regression gate: recorded speedups below their stated floor.
 
     Returns one human-readable line per violation (empty = all good).
-    Records that state no ``min_speedup`` are informational only.
+    A record with no ``min_speedup`` floor anywhere (top-level or per
+    algorithm/case) is itself a violation: an ungated record would sail
+    through every future regression silently.
     """
     failures: List[str] = []
     for name, record in summary["records"].items():
-        for label, speedup, floor in _gated_speedups(name, record):
+        gated = _gated_speedups(name, record)
+        if not gated:
+            failures.append(
+                f"{name}: record states no min_speedup floor anywhere; "
+                "ungated records cannot participate in the regression gate"
+            )
+            continue
+        for label, speedup, floor in gated:
             if speedup < floor:
                 failures.append(
                     f"{label}: recorded speedup {speedup}x is below its "

@@ -38,7 +38,9 @@ from repro.errors import (
 from repro.geometry.rect import Rect
 from repro.network.config import NetworkConfig
 from repro.network.faults import FaultPlan, RetryPolicy
+from repro.datasets.partition import PARTITION_SCHEMES, partition_dataset
 from repro.server.server import SpatialServer
+from repro.server.sharded import ShardedSpatialServer
 from repro.service.broker import QueryBroker
 from repro.service.executor import QueryService
 from repro.service.query import JoinQuery, QueryOutcome
@@ -49,6 +51,7 @@ __all__ = [
     "FaultPlan",
     "JoinOutcome",
     "JoinQuery",
+    "PARTITION_SCHEMES",
     "QueryBroker",
     "QueryOutcome",
     "QueryService",
@@ -58,8 +61,10 @@ __all__ = [
     "RetryPolicy",
     "ServerUnavailable",
     "ServiceClosed",
+    "ShardedSpatialServer",
     "available_algorithms",
     "batch_join",
+    "partition_dataset",
     "quick_join",
 ]
 
@@ -89,6 +94,9 @@ def quick_join(
     faults: Optional[FaultPlan] = None,
     retry: Optional[RetryPolicy] = None,
     deadline_s: Optional[float] = None,
+    shards_r: int = 1,
+    shards_s: int = 1,
+    shard_scheme: str = "grid",
 ) -> JoinResult:
     """Run one ad-hoc distributed spatial join end to end.
 
@@ -129,6 +137,14 @@ def quick_join(
     deadline_s:
         Optional per-query budget in simulated seconds; crossing it raises
         a typed :class:`~repro.errors.QueryTimeout`.
+    shards_r, shards_s, shard_scheme:
+        Shard counts per side and the partitioning scheme.  A count > 1
+        publishes that side as a partitioned
+        :class:`~repro.server.sharded.ShardedSpatialServer` fleet; requests
+        are scattered to the shards they intersect and merged, with one
+        metered channel (and fault substream) per shard.  Join pairs are
+        bit-identical to the unsharded run; byte totals reflect the
+        scatter.  SemiJoin requires unsharded servers.
 
     Returns
     -------
@@ -145,6 +161,9 @@ def quick_join(
         faults=faults,
         retry=retry,
         deadline_s=deadline_s,
+        shards_r=shards_r,
+        shards_s=shards_s,
+        shard_scheme=shard_scheme,
     )
     return session.run(
         algorithm=algorithm,
@@ -219,6 +238,9 @@ class AdHocJoinSession:
         faults: Optional[FaultPlan] = None,
         retry: Optional[RetryPolicy] = None,
         deadline_s: Optional[float] = None,
+        shards_r: int = 1,
+        shards_s: int = 1,
+        shard_scheme: str = "grid",
     ) -> None:
         """``servers`` accepts a pre-built ``(server_r, server_s)`` pair.
 
@@ -233,6 +255,10 @@ class AdHocJoinSession:
         the plan's seed, recoverable ones are retried with backoff, and
         every run's primary metering lane stays bit-identical to the
         fault-free run (retry traffic is ledgered on a separate lane).
+
+        ``shards_r``/``shards_s``/``shard_scheme`` publish a side as a
+        partitioned shard fleet (see :func:`quick_join`); ignored when
+        ``servers`` injects pre-built instances.
         """
         self.dataset_r = dataset_r
         self.dataset_s = dataset_s
@@ -249,6 +275,9 @@ class AdHocJoinSession:
             faults=faults,
             retry=retry,
             deadline_s=deadline_s,
+            shards_r=shards_r,
+            shards_s=shards_s,
+            shard_scheme=shard_scheme,
         )
         self._history: List[JoinResult] = []
 

@@ -345,12 +345,12 @@ class MobileJoinAlgorithm(ABC):
             estimated_time_s=self.device.estimated_response_time(),
             operator_counts=self.device.counts.as_dict(),
             server_stats={
-                "R": servers.r.backing_server.stats.as_dict(),
-                "S": servers.s.backing_server.stats.as_dict(),
+                "R": servers.r.server_stats(),
+                "S": servers.s.server_stats(),
             },
             channel_stats={
-                "R": servers.r.channel.snapshot(),
-                "S": servers.s.channel.snapshot(),
+                "R": servers.r.channel_snapshot(),
+                "S": servers.s.channel_snapshot(),
             },
             buffer_high_water_mark=self.device.buffer.high_water_mark,
             trace=list(self._trace),

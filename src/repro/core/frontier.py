@@ -38,6 +38,15 @@ logs are bit-identical (pinned by ``tests/test_frontier_equivalence.py``
 and the frozen logs in ``tests/test_golden_traces.py``).  Tasks are
 algorithm-specific; the engine only requires them to expose ``window`` and
 ``depth`` attributes (used for trace bookkeeping).
+
+Sharded data plane (PR 8).  The engine addresses servers by their *logical*
+side names (``"R"``/``"S"``): a round's batch for one side may physically
+scatter across a fleet of shard servers when the connection behind that
+name is a :class:`~repro.server.remote.ShardedRemoteServer`.  The scatter,
+the per-shard metering and the deterministic merge all live in the
+connection layer; the engine's rounds, decision traces and therefore its
+pair sets are bit-identical whichever data plane answers them (COUNT sums
+over disjoint shards equal the union server's counts exactly).
 """
 
 from __future__ import annotations

@@ -29,6 +29,7 @@ from repro.geometry.rect import Rect
 from repro.network.config import NetworkConfig
 from repro.server.remote import ResilienceController, ServerPair
 from repro.server.server import SpatialServer
+from repro.server.sharded import ShardedSpatialServer
 
 __all__ = [
     "ALGORITHMS",
@@ -127,6 +128,9 @@ def build_session_stack(
     faults=None,
     retry=None,
     deadline_s: Optional[float] = None,
+    shards_r: int = 1,
+    shards_s: int = 1,
+    shard_scheme: str = "grid",
 ) -> Tuple[SpatialServer, SpatialServer, MobileDevice]:
     """Build the two servers, the metered connections and the device.
 
@@ -137,6 +141,12 @@ def build_session_stack(
     channels and the device are always fresh, so byte accounting starts
     from zero either way.
 
+    ``shards_r``/``shards_s`` (> 1) publish that side as a
+    :class:`~repro.server.sharded.ShardedSpatialServer` fleet split by
+    ``shard_scheme``; the connection then scatters every request to the
+    shards it intersects and merges the answers, with one metered channel
+    per shard.  SemiJoin (``indexed=True``) requires unsharded servers.
+
     ``faults``/``retry``/``deadline_s`` attach a per-session
     :class:`~repro.server.remote.ResilienceController` (a seeded
     :class:`~repro.network.faults.FaultPlan`, a retry policy, and a
@@ -144,12 +154,8 @@ def build_session_stack(
     """
     config = config or NetworkConfig()
     if servers is None:
-        server_r = SpatialServer(
-            dataset_r.rename("R"), name="R", index_fanout=index_fanout
-        )
-        server_s = SpatialServer(
-            dataset_s.rename("S"), name="S", index_fanout=index_fanout
-        )
+        server_r = _build_server(dataset_r, "R", shards_r, shard_scheme, index_fanout)
+        server_s = _build_server(dataset_s, "S", shards_s, shard_scheme, index_fanout)
     else:
         server_r, server_s = servers
     resilience = None
@@ -162,6 +168,23 @@ def build_session_stack(
     )
     device = MobileDevice(pair, buffer_size=buffer_size)
     return server_r, server_s, device
+
+
+def _build_server(
+    dataset: SpatialDataset,
+    name: str,
+    shards: int,
+    scheme: str,
+    index_fanout: int,
+):
+    """One side's server build: a single server, or a shard fleet."""
+    if shards < 1:
+        raise ValueError("shard counts must be >= 1")
+    if shards == 1:
+        return SpatialServer(dataset.rename(name), name=name, index_fanout=index_fanout)
+    return ShardedSpatialServer(
+        dataset, name=name, shards=shards, scheme=scheme, index_fanout=index_fanout
+    )
 
 
 def build_algorithm(
@@ -194,6 +217,9 @@ def run_join(
     faults=None,
     retry=None,
     deadline_s: Optional[float] = None,
+    shards_r: int = 1,
+    shards_s: int = 1,
+    shard_scheme: str = "grid",
     **algorithm_kwargs: object,
 ) -> JoinResult:
     """Build the full stack, run one algorithm, return the measured result.
@@ -217,6 +243,9 @@ def run_join(
     faults, retry, deadline_s:
         Optional resilience stack: a seeded fault plan to inject, the
         retry policy answering it, and a per-query simulated-time deadline.
+    shards_r, shards_s, shard_scheme:
+        Shard counts per side (> 1 publishes the side as a partitioned
+        server fleet) and the partitioning scheme.
     """
     indexed = algorithm.lower() == "semijoin"
     _, _, device = build_session_stack(
@@ -229,6 +258,9 @@ def run_join(
         faults=faults,
         retry=retry,
         deadline_s=deadline_s,
+        shards_r=shards_r,
+        shards_s=shards_s,
+        shard_scheme=shard_scheme,
     )
     algo = build_algorithm(algorithm, device, spec, params, **algorithm_kwargs)
     if window is None:

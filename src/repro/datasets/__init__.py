@@ -15,6 +15,11 @@ polyline network with the same cardinality, small-segment MBRs and strong
 from __future__ import annotations
 
 from repro.datasets.dataset import SpatialDataset
+from repro.datasets.partition import (
+    PARTITION_SCHEMES,
+    partition_dataset,
+    shard_assignment,
+)
 from repro.datasets.synthetic import clustered, gaussian_mixture, uniform
 from repro.datasets.railway import generate_railway_like
 from repro.datasets.workloads import (
@@ -26,6 +31,9 @@ from repro.datasets.loader import load_dataset, save_dataset
 
 __all__ = [
     "SpatialDataset",
+    "PARTITION_SCHEMES",
+    "partition_dataset",
+    "shard_assignment",
     "clustered",
     "uniform",
     "gaussian_mixture",

@@ -212,15 +212,18 @@ class MobileDevice:
     def estimated_response_time(self) -> float:
         """Estimated wall-clock seconds to replay all traffic over the link.
 
-        Both channel logs are reduced with the link model's NumPy closed
+        Every connection channel log (one per server, or one per shard for
+        a sharded connection) is reduced with the link model's NumPy closed
         form (a handful of array reductions per channel, regardless of log
         length); the per-record scalar walk survives as
         ``link.estimate_channel_time(channel, method="scalar")`` and the
         wifi tests pin the two within float tolerance.
         """
-        return self.link.estimate_channel_time(
-            self.servers.r.channel
-        ) + self.link.estimate_channel_time(self.servers.s.channel)
+        return sum(
+            self.link.estimate_channel_time(chan)
+            for server in (self.servers.r, self.servers.s)
+            for chan in server.channels
+        )
 
     def note_repartition(self) -> None:
         """Record that an algorithm decided to repartition a window."""

@@ -123,6 +123,15 @@ class AggregateRTree:
         """The underlying R-tree (object retrieval, SemiJoin level access)."""
         return self._tree
 
+    def bounds(self) -> Optional[Rect]:
+        """The MBR of every indexed object (``None`` for an empty index).
+
+        The sharded data plane routes scatter requests by intersecting
+        them with each shard's bounds; reading the root MBR here keeps
+        that routing consistent with what the index will actually answer.
+        """
+        return self._tree.root.mbr
+
     def count(self, window: Rect) -> int:
         """Number of indexed objects intersecting the window."""
         return self._count(self._tree.root, window)

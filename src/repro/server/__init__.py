@@ -16,18 +16,31 @@ Two layers:
 * :class:`~repro.server.remote.IndexedRemoteServer` -- the privileged proxy
   used only by the SemiJoin comparator, exposing R-tree level MBRs (the
   paper assumes the servers publish them for that algorithm only).
+* :class:`~repro.server.sharded.ShardedSpatialServer` /
+  :class:`~repro.server.remote.ShardedRemoteServer` -- the sharded data
+  plane: one logical dataset partitioned across a fleet of shard servers,
+  scattered to and merged from over per-shard metered channels.
 """
 
 from __future__ import annotations
 
 from repro.server.interface import SpatialServerInterface
 from repro.server.server import SpatialServer
-from repro.server.remote import IndexedRemoteServer, RemoteServer, ServerPair
+from repro.server.sharded import FleetStats, ShardedSpatialServer
+from repro.server.remote import (
+    IndexedRemoteServer,
+    RemoteServer,
+    ServerPair,
+    ShardedRemoteServer,
+)
 
 __all__ = [
     "SpatialServerInterface",
     "SpatialServer",
+    "ShardedSpatialServer",
+    "FleetStats",
     "RemoteServer",
     "IndexedRemoteServer",
+    "ShardedRemoteServer",
     "ServerPair",
 ]

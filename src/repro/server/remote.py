@@ -53,9 +53,16 @@ from repro.network.messages import (
     WindowQuery,
 )
 from repro.server.interface import SpatialServerInterface
-from repro.server.server import SpatialServer
+from repro.server.server import ServerQueryStats, SpatialServer
+from repro.server.sharded import ShardedSpatialServer
 
-__all__ = ["RemoteServer", "IndexedRemoteServer", "ResilienceController", "ServerPair"]
+__all__ = [
+    "RemoteServer",
+    "IndexedRemoteServer",
+    "ShardedRemoteServer",
+    "ResilienceController",
+    "ServerPair",
+]
 
 
 class ResilienceController:
@@ -532,6 +539,33 @@ class RemoteServer(SpatialServerInterface):
         return value
 
     # ------------------------------------------------------------------ #
+    # connection introspection (one channel here; a shard fleet has many)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def channels(self) -> Tuple[Channel, ...]:
+        """All accounting channels behind this connection."""
+        return (self.channel,)
+
+    def reset_channels(self) -> None:
+        """Zero every channel ledger of this connection."""
+        self.channel.reset()
+
+    def channel_snapshot(self) -> Dict[str, object]:
+        """The connection's ledger snapshot (merged over all channels)."""
+        return self.channel.snapshot()
+
+    def ledger_fingerprint(self) -> Tuple:
+        """Bit-exact fingerprint of the connection's primary-lane ledger."""
+        return self.channel.ledger_fingerprint()
+
+    def server_stats(self) -> Dict[str, int]:
+        """The backing server's query-statistics counters."""
+        return self._server.stats.as_dict()
+
+    def stat_objects(self) -> Tuple[ServerQueryStats, ...]:
+        """The mutable statistics objects behind this connection (audits)."""
+        return (self._server.stats,)
 
     def total_bytes(self) -> int:
         """Total wire bytes moved over this connection so far."""
@@ -735,6 +769,340 @@ class IndexedRemoteServer(RemoteServer):
         return pairs
 
 
+class ShardedRemoteServer(SpatialServerInterface):
+    """A metered scatter/merge proxy in front of a shard fleet.
+
+    The device-side algorithms see one :class:`SpatialServerInterface`
+    endpoint; underneath, every shard has its own ordinary
+    :class:`RemoteServer` on its own :class:`Channel` (named after the
+    shard, e.g. ``"R#2"``), so per-shard byte ledgers, retry lanes and
+    deterministic fault substreams come for free.
+
+    Routing is by bounds intersection: a request window is scattered only
+    to the non-empty shards whose dataset bounds it intersects; a range
+    probe is routed through its Chebyshev square ``centre +- radius``
+    (min-distance <= radius implies the object MBR intersects that square,
+    and every shard object's MBR lies inside the shard bounds, so routing
+    never loses an answer).  Answers are merged deterministically in
+    ascending shard order; summed COUNTs and merged payload row sets are
+    bit-identical to the union server's answers.  Requests routed to zero
+    shards produce empty answers without touching any wire.
+    """
+
+    def __init__(
+        self,
+        fleet: ShardedSpatialServer,
+        channels: Sequence[Channel],
+        resilience: Optional[ResilienceController] = None,
+    ) -> None:
+        channels = tuple(channels)
+        if len(channels) != len(fleet.shards):
+            raise ValueError("one channel per shard required")
+        self._fleet = fleet
+        self.name = fleet.name
+        self.resilience = resilience
+        self._proxies = tuple(
+            RemoteServer(shard, chan, resilience=resilience)
+            for shard, chan in zip(fleet.shards, channels)
+        )
+        # Routing table: shard dataset bounds, None for empty shards (an
+        # empty shard never answers and is never routed to).
+        self._bounds = tuple(
+            shard.dataset.bounds() if len(shard) else None for shard in fleet.shards
+        )
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+
+    def _routed(self, window: Rect) -> List[int]:
+        """Shard indices whose (non-empty) bounds intersect the window."""
+        return [
+            i
+            for i, b in enumerate(self._bounds)
+            if b is not None and b.intersects(window)
+        ]
+
+    @staticmethod
+    def _probe_window(center: Point, radius: float) -> Rect:
+        """The Chebyshev square that makes range-probe routing safe."""
+        return Rect(
+            center.x - radius, center.y - radius, center.x + radius, center.y + radius
+        )
+
+    def _scatter(self, windows: Sequence[Rect]) -> List[Tuple[int, List[int]]]:
+        """Group request indices by routed shard, shards ascending."""
+        per_shard: Dict[int, List[int]] = {}
+        for wi, window in enumerate(windows):
+            for si in self._routed(window):
+                per_shard.setdefault(si, []).append(wi)
+        return sorted(per_shard.items())
+
+    @staticmethod
+    def _merge_payloads(
+        parts: Sequence[Tuple[np.ndarray, np.ndarray]]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if not parts:
+            return np.empty((0, 4)), np.empty(0, dtype=np.int64)
+        return (
+            np.vstack([m for m, _ in parts]),
+            np.concatenate([o for _, o in parts]),
+        )
+
+    def _merge_flat(
+        self,
+        requests: Sequence[Rect],
+        shard_results: List[Tuple[List[int], np.ndarray, np.ndarray, np.ndarray]],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Merge per-shard CSR answers back into request-order CSR form.
+
+        Within one request the shard payloads are concatenated in ascending
+        shard order (``shard_results`` arrives that way from
+        :meth:`_scatter`), so the merged rows are a deterministic function
+        of the request batch alone.
+        """
+        per_request: List[List[Tuple[np.ndarray, np.ndarray]]] = [
+            [] for _ in requests
+        ]
+        for idxs, mbrs, oids, bounds in shard_results:
+            for j, wi in enumerate(idxs):
+                lo, hi = int(bounds[j]), int(bounds[j + 1])
+                if hi > lo:
+                    per_request[wi].append((mbrs[lo:hi], oids[lo:hi]))
+        out_bounds = np.zeros(len(per_request) + 1, dtype=np.int64)
+        mbr_parts: List[np.ndarray] = []
+        oid_parts: List[np.ndarray] = []
+        total = 0
+        for wi, chunks in enumerate(per_request):
+            for m, o in chunks:
+                total += int(o.shape[0])
+                mbr_parts.append(m)
+                oid_parts.append(o)
+            out_bounds[wi + 1] = total
+        mbrs = np.vstack(mbr_parts) if mbr_parts else np.empty((0, 4))
+        oids = (
+            np.concatenate(oid_parts) if oid_parts else np.empty(0, dtype=np.int64)
+        )
+        return mbrs, oids, out_bounds
+
+    # ------------------------------------------------------------------ #
+    # metered primitive queries (scatter to shards, merge answers)
+    # ------------------------------------------------------------------ #
+
+    def window(self, window: Rect) -> Tuple[np.ndarray, np.ndarray]:
+        return self._merge_payloads(
+            [self._proxies[i].window(window) for i in self._routed(window)]
+        )
+
+    def window_batch(
+        self, windows: Sequence[Rect]
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        windows = list(windows)
+        mbrs, oids, bounds = self.window_batch_flat(windows)
+        return [
+            (mbrs[bounds[i] : bounds[i + 1]], oids[bounds[i] : bounds[i + 1]])
+            for i in range(len(windows))
+        ]
+
+    def window_batch_flat(
+        self, windows: Sequence[Rect]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        windows = list(windows)
+        shard_results = []
+        for si, idxs in self._scatter(windows):
+            m, o, b = self._proxies[si].window_batch_flat(
+                [windows[wi] for wi in idxs]
+            )
+            shard_results.append((idxs, m, o, b))
+        return self._merge_flat(windows, shard_results)
+
+    def count(self, window: Rect) -> int:
+        return sum(self._proxies[i].count(window) for i in self._routed(window))
+
+    def count_batch(self, windows: Sequence[Rect]) -> List[int]:
+        windows = list(windows)
+        values = [0] * len(windows)
+        for si, idxs in self._scatter(windows):
+            sub = self._proxies[si].count_batch([windows[wi] for wi in idxs])
+            for wi, v in zip(idxs, sub):
+                values[wi] += int(v)
+        return values
+
+    def count_batch_prefetched(
+        self, windows: Sequence[Rect], values: Sequence[int]
+    ) -> List[int]:
+        """Attribute a broker-coalesced COUNT batch across the shards.
+
+        The wave driver evaluated the merged counts once on the fleet
+        build (:meth:`ShardedSpatialServer.evaluate_count_batch`); here
+        each routed shard's ledger and statistics are charged exactly what
+        :meth:`count_batch` over the same windows would have charged (the
+        per-shard values are irrelevant to the uniform accounting).
+        """
+        windows = list(windows)
+        values = [int(v) for v in values]
+        if len(values) != len(windows):
+            raise ValueError("values must be parallel to windows")
+        for si, idxs in self._scatter(windows):
+            self._proxies[si].count_batch_prefetched(
+                [windows[wi] for wi in idxs], [0] * len(idxs)
+            )
+        return values
+
+    def range(self, center: Point, epsilon: float) -> Tuple[np.ndarray, np.ndarray]:
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        probe = self._probe_window(center, epsilon)
+        return self._merge_payloads(
+            [self._proxies[i].range(center, epsilon) for i in self._routed(probe)]
+        )
+
+    def range_batch(
+        self, centers: Sequence[Point], radii: Sequence[float]
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        mbrs, oids, bounds = self.range_batch_flat(centers, radii)
+        return [
+            (mbrs[bounds[i] : bounds[i + 1]], oids[bounds[i] : bounds[i + 1]])
+            for i in range(len(centers))
+        ]
+
+    def range_batch_flat(
+        self, centers: Sequence[Point], radii: Sequence[float]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        centers = list(centers)
+        per_probe = [float(r) for r in radii]
+        if any(r < 0 for r in per_probe):
+            raise ValueError("epsilon must be non-negative")
+        probes = [self._probe_window(c, r) for c, r in zip(centers, per_probe)]
+        shard_results = []
+        for si, idxs in self._scatter(probes):
+            m, o, b = self._proxies[si].range_batch_flat(
+                [centers[pi] for pi in idxs], [per_probe[pi] for pi in idxs]
+            )
+            shard_results.append((idxs, m, o, b))
+        return self._merge_flat(probes, shard_results)
+
+    def bucket_range(
+        self,
+        centers: Sequence[Point],
+        epsilon: float,
+        radii: Optional[Sequence[float]] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        centers = tuple(centers)
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        if not centers:
+            raise ValueError("bucket_range needs at least one probe point")
+        if radii is not None and len(radii) != len(centers):
+            raise ValueError("radii must be parallel to centers")
+        per_probe = (
+            [epsilon] * len(centers) if radii is None else [float(r) for r in radii]
+        )
+        probe_windows = [
+            self._probe_window(c, r) for c, r in zip(centers, per_probe)
+        ]
+        mbr_parts: List[np.ndarray] = []
+        oid_parts: List[np.ndarray] = []
+        probe_parts: List[np.ndarray] = []
+        for si, idxs in self._scatter(probe_windows):
+            m, o, p = self._proxies[si].bucket_range(
+                tuple(centers[pi] for pi in idxs),
+                epsilon,
+                [per_probe[pi] for pi in idxs],
+            )
+            mbr_parts.append(m)
+            oid_parts.append(o)
+            probe_parts.append(np.asarray(idxs, dtype=np.int64)[np.asarray(p, dtype=np.int64)])
+        if not mbr_parts:
+            return np.empty((0, 4)), np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        mbrs = np.vstack(mbr_parts)
+        oids = np.concatenate(oid_parts)
+        probe_idx = np.concatenate(probe_parts)
+        # Probe-major order with ascending shards inside each probe: the
+        # deterministic merge the equivalence tests pin down.
+        order = np.argsort(probe_idx, kind="stable")
+        return mbrs[order], oids[order], probe_idx[order]
+
+    def average_mbr_area(self, window: Rect) -> float:
+        # Weighted mean of the per-shard aggregates; the weight (the
+        # shard's object count in the window) rides in the same aggregate
+        # response, so only the aggregate exchange is metered per shard.
+        total = 0.0
+        weight = 0
+        for si in self._routed(window):
+            proxy = self._proxies[si]
+            n = proxy.backing_server.index.count(window)
+            value = proxy.average_mbr_area(window)
+            total += value * n
+            weight += n
+        return total / weight if weight else 0.0
+
+    # ------------------------------------------------------------------ #
+    # connection introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def config(self) -> NetworkConfig:
+        return self._proxies[0].config
+
+    @property
+    def tariff(self) -> float:
+        return self._proxies[0].tariff
+
+    @property
+    def backing_server(self) -> ShardedSpatialServer:
+        """The shard fleet behind the proxy (tests and oracles only)."""
+        return self._fleet
+
+    @property
+    def channels(self) -> Tuple[Channel, ...]:
+        """All per-shard accounting channels, shard order."""
+        return tuple(proxy.channel for proxy in self._proxies)
+
+    def reset_channels(self) -> None:
+        for proxy in self._proxies:
+            proxy.channel.reset()
+
+    def channel_snapshot(self) -> Dict[str, object]:
+        """Fleet ledger snapshot: summed totals plus per-shard detail."""
+        shard_snaps = [proxy.channel.snapshot() for proxy in self._proxies]
+        summed = (
+            "uplink_bytes",
+            "downlink_bytes",
+            "total_bytes",
+            "uplink_packets",
+            "downlink_packets",
+            "messages_up",
+            "messages_down",
+            "total_cost",
+        )
+        merged: Dict[str, object] = {"name": self.name}
+        for key in summed:
+            merged[key] = sum(snap[key] for snap in shard_snaps)
+        merged["tariff"] = self.tariff
+        merged["shards"] = shard_snaps
+        return merged
+
+    def ledger_fingerprint(self) -> Tuple:
+        """Per-shard primary-lane fingerprints, shard order."""
+        return tuple(proxy.channel.ledger_fingerprint() for proxy in self._proxies)
+
+    def server_stats(self) -> Dict[str, int]:
+        """Fleet-summed backing-server statistics."""
+        return self._fleet.stats.as_dict()
+
+    def stat_objects(self) -> Tuple[ServerQueryStats, ...]:
+        return tuple(shard.stats for shard in self._fleet.shards)
+
+    def total_bytes(self) -> int:
+        """Total wire bytes over all shard connections so far."""
+        return sum(proxy.total_bytes() for proxy in self._proxies)
+
+    def total_cost(self) -> float:
+        """Tariff-weighted cost over all shard connections so far."""
+        return sum(proxy.total_cost() for proxy in self._proxies)
+
+
 @dataclass
 class ServerPair:
     """The two metered connections a join session holds.
@@ -754,8 +1122,8 @@ class ServerPair:
         return self.r.total_cost() + self.s.total_cost()
 
     def reset(self) -> None:
-        self.r.channel.reset()
-        self.s.channel.reset()
+        self.r.reset_channels()
+        self.s.reset_channels()
 
     def swapped(self) -> "ServerPair":
         """The pair with roles exchanged (used by symmetric code paths)."""
@@ -771,18 +1139,41 @@ class ServerPair:
     ) -> "ServerPair":
         """Create metered connections to two servers with a shared config.
 
-        ``resilience`` (if given) is shared by both proxies: one retry
-        policy, one deadline budget and one fault-plan instantiation per
-        query, with a separate deterministic fault stream per server.
+        Either side may be a :class:`~repro.server.sharded.ShardedSpatialServer`
+        fleet, in which case its connection is a scatter/merge
+        :class:`ShardedRemoteServer` with one channel (and one fault
+        substream) per shard.  ``resilience`` (if given) is shared by both
+        sides: one retry policy, one deadline budget and one fault-plan
+        instantiation per query, with a separate deterministic fault stream
+        per channel name.
         """
         config = config or NetworkConfig()
+        sharded = isinstance(server_r, ShardedSpatialServer) or isinstance(
+            server_s, ShardedSpatialServer
+        )
+        if indexed and sharded:
+            raise ValueError(
+                "semijoin needs index-published servers; sharded fleets do not "
+                "publish a single R-tree"
+            )
         proxy_cls = IndexedRemoteServer if indexed else RemoteServer
-        chan_r = Channel(config, tariff=config.tariff_r, name=server_r.name)
-        chan_s = Channel(config, tariff=config.tariff_s, name=server_s.name)
-        if resilience is not None:
-            resilience.register(chan_r)
-            resilience.register(chan_s)
+
+        def _connect_one(server, tariff: float):
+            if isinstance(server, ShardedSpatialServer):
+                chans = [
+                    Channel(config, tariff=tariff, name=shard.name)
+                    for shard in server.shards
+                ]
+                if resilience is not None:
+                    for chan in chans:
+                        resilience.register(chan)
+                return ShardedRemoteServer(server, chans, resilience=resilience)
+            chan = Channel(config, tariff=tariff, name=server.name)
+            if resilience is not None:
+                resilience.register(chan)
+            return proxy_cls(server, chan, resilience=resilience)
+
         return ServerPair(
-            r=proxy_cls(server_r, chan_r, resilience=resilience),
-            s=proxy_cls(server_s, chan_s, resilience=resilience),
+            r=_connect_one(server_r, config.tariff_r),
+            s=_connect_one(server_s, config.tariff_s),
         )

@@ -9,6 +9,7 @@ how many aggregate vs. data queries each algorithm issued.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -21,6 +22,11 @@ from repro.index.aggregate_rtree import AggregateRTree
 from repro.server.interface import SpatialServerInterface
 
 __all__ = ["SpatialServer", "ServerQueryStats"]
+
+#: Monotonic registration ids: every server *build* (not view) gets a fresh
+#: uid, so ``breaker_token`` stays unique across the process lifetime even
+#: when Python recycles ``id()`` values of garbage-collected servers.
+_SERVER_UIDS = itertools.count(1)
 
 
 @dataclass
@@ -78,6 +84,7 @@ class SpatialServer(SpatialServerInterface):
     ) -> None:
         self.dataset = dataset
         self.name = name
+        self.server_uid = next(_SERVER_UIDS)
         self.stats = ServerQueryStats()
         # Array-native bulk load straight off the dataset's MBR array; no
         # per-object Rect materialisation.  ``index`` lets callers inject a
@@ -112,11 +119,42 @@ class SpatialServer(SpatialServerInterface):
         view = SpatialServer.__new__(SpatialServer)
         view.dataset = self.dataset
         view.name = self.name
+        # Views share the build's identity: a breaker opened against the
+        # build must shed traffic from every view of it.
+        view.server_uid = self.server_uid
         view.stats = ServerQueryStats()
         view._index = self._index
         view._row_order = self._row_order
         view._oids_sorted = self._oids_sorted
         return view
+
+    @property
+    def breaker_token(self) -> Tuple[str, int]:
+        """Stable identity for circuit-breaker bookkeeping.
+
+        ``(name, server_uid)`` survives garbage collection: a *new* server
+        that happens to reuse a dead server's ``id()`` (or its name) gets a
+        fresh uid and therefore a closed breaker.
+        """
+        return (self.name, self.server_uid)
+
+    def breaker_units(self) -> Tuple["SpatialServer", ...]:
+        """The independently-breakable servers behind this one (itself)."""
+        return (self,)
+
+    def evaluate_count_batch(self, windows: Sequence[Rect]) -> List[int]:
+        """Answer COUNTs without touching query statistics.
+
+        The broker's wave executor evaluates each coalesced batch once on
+        the shared build and attributes per-query statistics separately via
+        the prefetch path; this entry point keeps that evaluation free of
+        stat side effects.
+        """
+        return self._index.count_batch(windows)
+
+    def prime_snapshot(self) -> None:
+        """Force lazy index snapshots so shared views are read-only."""
+        self._index.rtree.flat_view()
 
     @property
     def index(self) -> AggregateRTree:

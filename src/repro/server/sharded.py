@@ -1,0 +1,155 @@
+"""A fleet of shard servers publishing one logical dataset.
+
+The sharded data plane splits a published dataset across N
+:class:`~repro.server.server.SpatialServer` instances (one per shard of a
+deterministic :func:`~repro.datasets.partition.partition_dataset` split) and
+presents them as one logical server build.  The fleet itself never answers
+queries -- the client side talks to every shard through its own metered
+connection (:class:`~repro.server.remote.ShardedRemoteServer`) -- but it is
+the unit the query broker caches, primes, places and reuses:
+
+* ``shared_view()`` hands every in-flight query a statistics-isolated view
+  of the whole fleet (each shard's index and dataset shared by reference);
+* ``evaluate_count_batch()`` answers a coalesced COUNT batch for the wave
+  driver by summing the per-shard counts (shards partition the object set
+  exactly, so the sums equal the union server's counts bit for bit);
+* ``breaker_units()`` exposes the shards as independently-breakable
+  servers, so one misbehaving shard trips only its own circuit breaker.
+
+Shard servers are named ``"<name>#<i>"``; those names key the per-shard
+channels, ledgers and deterministic fault substreams.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.datasets.dataset import SpatialDataset
+from repro.datasets.partition import partition_dataset
+from repro.geometry.rect import Rect
+from repro.server.server import ServerQueryStats, SpatialServer
+
+__all__ = ["ShardedSpatialServer", "FleetStats"]
+
+
+class FleetStats:
+    """Read-through statistics over a fleet of shard servers.
+
+    Quacks like :class:`~repro.server.server.ServerQueryStats` where the
+    rest of the stack needs it to -- ``as_dict()`` sums the per-shard
+    counters, ``reset()`` clears every shard -- while keeping the real
+    counters on the shards, where the metered proxies bump them.
+    """
+
+    def __init__(self, shards: Sequence[SpatialServer]) -> None:
+        self._shards = tuple(shards)
+
+    def as_dict(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for shard in self._shards:
+            for key, value in shard.stats.as_dict().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def reset(self) -> None:
+        for shard in self._shards:
+            shard.stats.reset()
+
+    def per_shard(self) -> Dict[str, Dict[str, int]]:
+        """Per-shard counter dicts, keyed by shard server name."""
+        return {shard.name: shard.stats.as_dict() for shard in self._shards}
+
+    def __getattr__(self, key: str) -> int:
+        # Counter reads (``stats.count_queries`` etc.) sum over the fleet.
+        if key.startswith("_"):
+            raise AttributeError(key)
+        probe = ServerQueryStats()
+        if not hasattr(probe, key):
+            raise AttributeError(key)
+        return sum(getattr(shard.stats, key) for shard in self._shards)
+
+
+class ShardedSpatialServer:
+    """One logical dataset published by a fleet of shard servers.
+
+    Parameters
+    ----------
+    dataset:
+        The logical dataset to publish.
+    name:
+        Logical server name (``"R"`` / ``"S"``); shard servers are named
+        ``"<name>#<i>"``.
+    shards:
+        Number of shards (>= 1; empty shards are legal and never answer).
+    scheme:
+        Partitioning scheme, see :data:`~repro.datasets.partition.PARTITION_SCHEMES`.
+    index_fanout:
+        Fanout of each shard's aggregate R-tree.
+    """
+
+    def __init__(
+        self,
+        dataset: SpatialDataset,
+        name: str = "server",
+        shards: int = 2,
+        scheme: str = "grid",
+        index_fanout: int = 16,
+    ) -> None:
+        self.dataset = dataset.rename(name)
+        self.name = name
+        self.scheme = scheme
+        parts = partition_dataset(self.dataset, shards, scheme)
+        self.shards: Tuple[SpatialServer, ...] = tuple(
+            SpatialServer(part, name=part.name, index_fanout=index_fanout)
+            for part in parts
+        )
+        self.stats = FleetStats(self.shards)
+
+    def __len__(self) -> int:
+        return len(self.dataset)
+
+    def shared_view(self) -> "ShardedSpatialServer":
+        """A fleet of statistics-isolated views over the same shard builds.
+
+        Mirrors :meth:`SpatialServer.shared_view`: the broker builds a
+        fleet once per dataset and hands each in-flight query its own view,
+        so concurrent queries meter per-shard statistics in isolation
+        without re-partitioning or re-indexing.
+        """
+        view = ShardedSpatialServer.__new__(ShardedSpatialServer)
+        view.dataset = self.dataset
+        view.name = self.name
+        view.scheme = self.scheme
+        view.shards = tuple(shard.shared_view() for shard in self.shards)
+        view.stats = FleetStats(view.shards)
+        return view
+
+    def breaker_units(self) -> Tuple[SpatialServer, ...]:
+        """The independently-breakable servers behind this build: the shards."""
+        return self.shards
+
+    def evaluate_count_batch(self, windows: Sequence[Rect]) -> List[int]:
+        """Answer COUNTs for the wave driver, statistics untouched.
+
+        The shards partition the object set exactly, so summing the
+        per-shard counts reproduces the union server's counts bit for bit
+        (non-intersecting shards contribute zero).
+        """
+        totals = [0] * len(list(windows))
+        for shard in self.shards:
+            if len(shard) == 0:
+                continue
+            for i, value in enumerate(shard.evaluate_count_batch(windows)):
+                totals[i] += int(value)
+        return totals
+
+    def prime_snapshot(self) -> None:
+        """Force every shard's lazy index snapshot (read-only views after)."""
+        for shard in self.shards:
+            shard.prime_snapshot()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"ShardedSpatialServer(name={self.name!r}, shards={len(self.shards)}, "
+            f"scheme={self.scheme!r}, n={len(self)})"
+        )

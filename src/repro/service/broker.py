@@ -64,6 +64,7 @@ from repro.errors import QueryTimeout, ReproError, ServerUnavailable
 from repro.network.config import NetworkConfig
 from repro.server.remote import ResilienceController, ServerPair
 from repro.server.server import SpatialServer
+from repro.server.sharded import ShardedSpatialServer
 from repro.service.cache import ResultCache, dataset_token, query_key
 from repro.service.executor import WaveExecutor, audit_ledger_isolation
 from repro.service.query import JoinQuery, QueryOutcome
@@ -142,10 +143,15 @@ class _Admitted:
 
 @dataclass
 class _Breaker:
-    """Per-backing-server circuit breaker state.
+    """Per-breaker-unit circuit breaker state.
 
-    Holding a strong reference to the base server keeps ``id(base)`` --
-    the breaker registry key -- from being reused by a new server object.
+    A *unit* is one independently-breakable server: a plain base server,
+    or one shard of a fleet.  The registry keys breakers by the unit's
+    stable :attr:`~repro.server.server.SpatialServer.breaker_token`
+    (``(name, registration uid)``), never by ``id()``: a new server that
+    recycles a dead server's object id (routine once shard fleets are
+    built, dropped and rebuilt) gets a fresh token and therefore starts
+    with a closed breaker.
 
     States: *closed* while ``open_until_wave`` is ``None``; *open* (shed
     every query touching this server) until the broker's wave counter
@@ -154,7 +160,7 @@ class _Breaker:
     single failed probe re-opens the breaker while a success closes it.
     """
 
-    base: SpatialServer
+    unit: SpatialServer
     failures: int = 0
     open_until_wave: Optional[int] = None
 
@@ -249,9 +255,9 @@ class QueryBroker:
         self._servers: Dict[Tuple, Tuple[SpatialServer, SpatialServer]] = {}
         self.breaker_threshold = breaker_threshold
         self.breaker_cooldown_waves = breaker_cooldown_waves
-        #: Circuit breakers keyed by ``id(base server)``; entries hold a
-        #: strong server reference so ids are never reused while tracked.
-        self._breakers: Dict[int, _Breaker] = {}
+        #: Circuit breakers keyed by the unit's stable ``breaker_token``
+        #: (``(name, registration uid)``) -- see :class:`_Breaker`.
+        self._breakers: Dict[Tuple[str, int], _Breaker] = {}
         #: Monotone wave clock driving breaker cooldowns (counts every
         #: executed wave across all ``execute()`` calls).
         self._wave_counter = 0
@@ -266,10 +272,14 @@ class QueryBroker:
         For long-lived brokers: results and index builds are retained
         across batches by design (that is the serving win); this is the
         explicit release valve when the dataset population rotates.
+        Detaching the server builds also evicts their breaker entries --
+        breaker state must never outlive the server it was charged
+        against.
         """
         self.cache.clear()
         with self._lock:
             self._servers.clear()
+            self._breakers.clear()
 
     # ------------------------------------------------------------------ #
     # planning
@@ -312,6 +322,13 @@ class QueryBroker:
         """
         # explain() -> select_algorithm() rejects unknown algorithm names.
         plan = self.explain(query)
+        if plan.algorithm == "semijoin" and (
+            query.shards_r > 1 or query.shards_s > 1
+        ):
+            raise ValueError(
+                "semijoin needs index-published servers; sharded fleets do "
+                "not publish a single R-tree"
+            )
         key = query_key(query, plan.algorithm, self.config)
         with self._lock:
             entry = _Admitted(
@@ -457,39 +474,59 @@ class QueryBroker:
         return to_execute, leaders, followers
 
     def _base_servers(self, query: JoinQuery) -> Tuple[SpatialServer, SpatialServer]:
-        """The cached server build backing one query's dataset pair."""
+        """The cached server build backing one query's dataset pair.
+
+        The build key carries the query's shard layout: the same dataset
+        pair served unsharded and as a 4-shard fleet are two distinct
+        (placed) builds, each with its own per-shard ledgers and breaker
+        units.
+        """
         if query.servers is not None:
             return query.servers
         key = (
             dataset_token(query.dataset_r),
             dataset_token(query.dataset_s),
             self.index_fanout,
+            query.shards_r,
+            query.shards_s,
+            query.shard_scheme,
         )
         with self._lock:
             pair = self._servers.get(key)
             if pair is None:
                 pair = (
-                    SpatialServer(
-                        query.dataset_r.rename("R"), name="R", index_fanout=self.index_fanout
-                    ),
-                    SpatialServer(
-                        query.dataset_s.rename("S"), name="S", index_fanout=self.index_fanout
-                    ),
+                    self._build_base(query.dataset_r, "R", query.shards_r, query),
+                    self._build_base(query.dataset_s, "S", query.shards_s, query),
                 )
                 self._servers[key] = pair
         return pair
 
+    def _build_base(self, dataset, name: str, shards: int, query: JoinQuery):
+        """Build (and place) one side: a single server or a shard fleet."""
+        if shards > 1:
+            return ShardedSpatialServer(
+                dataset,
+                name=name,
+                shards=shards,
+                scheme=query.shard_scheme,
+                index_fanout=self.index_fanout,
+            )
+        return SpatialServer(
+            dataset.rename(name), name=name, index_fanout=self.index_fanout
+        )
+
     @staticmethod
-    def _prime_snapshot(base: SpatialServer) -> None:
-        """Force-build the server's flattened index snapshot.
+    def _prime_snapshot(base) -> None:
+        """Force-build the server's flattened index snapshot(s).
 
         The snapshot is otherwise built lazily by the first batch query.
         With pooled advances that first query may come from several worker
         threads at once; building it here, on the coordinating thread
         before the wave fans out, keeps the shared read-only structures
-        truly read-only during concurrent execution.
+        truly read-only during concurrent execution.  A shard fleet primes
+        every shard.
         """
-        base.index.rtree.flat_view()
+        base.prime_snapshot()
 
     def _build_stack(self, entry: _Admitted) -> None:
         """One isolated session stack per query: statistics views of the
@@ -562,27 +599,41 @@ class QueryBroker:
         base_r, base_s = self._base_servers(entry.query)
         entry.base_r, entry.base_s = base_r, base_s
         for base in (base_r, base_s):
-            breaker = self._breakers.get(id(base))
-            if breaker is None or breaker.open_until_wave is None:
-                continue
-            if self._wave_counter < breaker.open_until_wave:
-                self.stats.bump(breaker_rejections=1)
-                raise ServerUnavailable(
-                    f"circuit breaker open for server {base.name!r} "
-                    f"(until wave {breaker.open_until_wave}, "
-                    f"now {self._wave_counter})",
-                    server=base.name,
-                    kind="breaker",
-                    recoverable=False,
-                )
-            # Half-open: probe with this query.
-            breaker.open_until_wave = None
-            breaker.failures = self.breaker_threshold - 1
+            for unit in base.breaker_units():
+                breaker = self._breakers.get(unit.breaker_token)
+                if breaker is None or breaker.open_until_wave is None:
+                    continue
+                if self._wave_counter < breaker.open_until_wave:
+                    self.stats.bump(breaker_rejections=1)
+                    raise ServerUnavailable(
+                        f"circuit breaker open for server {unit.name!r} "
+                        f"(until wave {breaker.open_until_wave}, "
+                        f"now {self._wave_counter})",
+                        server=unit.name,
+                        kind="breaker",
+                        recoverable=False,
+                    )
+                # Half-open: probe with this query.
+                breaker.open_until_wave = None
+                breaker.failures = self.breaker_threshold - 1
 
-    def _base_for_server_name(self, entry: _Admitted, server_name: Optional[str]):
+    def _unit_for_server_name(self, entry: _Admitted, server_name: Optional[str]):
+        """The breaker unit behind one failing channel name.
+
+        Channel names are either a side's logical name (``"R"``/``"S"``)
+        or a shard name (``"R#2"``); the side prefix picks the base build
+        and the exact name picks the unit (a shard, or the base itself).
+        """
         if server_name is None:
             return None
-        return entry.base_r if server_name.upper() == "R" else entry.base_s
+        side = server_name.split("#", 1)[0].upper()
+        base = entry.base_r if side == "R" else entry.base_s
+        if base is None:
+            return None
+        for unit in base.breaker_units():
+            if unit.name == server_name:
+                return unit
+        return None
 
     def _note_entry_failure(self, entry: _Admitted, error: BaseException) -> None:
         """Feed a query failure into the breaker bookkeeping.
@@ -590,16 +641,19 @@ class QueryBroker:
         Only genuine :class:`ServerUnavailable` verdicts count (an
         unavailability window outlasting the retry budget) -- not breaker
         fast-fails (kind ``"breaker"``), and not drop-induced retry
-        exhaustion or timeouts, which say nothing about the *server*.
+        exhaustion or timeouts, which say nothing about the *server*.  A
+        shard fleet degrades shard by shard: the failure is charged to the
+        shard whose channel faulted, never to its siblings.
         """
         if not isinstance(error, ServerUnavailable) or error.kind == "breaker":
             return
-        base = self._base_for_server_name(entry, error.server)
-        if base is None:
+        unit = self._unit_for_server_name(entry, error.server)
+        if unit is None:
             return
-        breaker = self._breakers.get(id(base))
+        token = unit.breaker_token
+        breaker = self._breakers.get(token)
         if breaker is None:
-            breaker = self._breakers[id(base)] = _Breaker(base)
+            breaker = self._breakers[token] = _Breaker(unit)
         breaker.failures += 1
         if breaker.failures >= self.breaker_threshold:
             breaker.open_until_wave = (
@@ -607,13 +661,14 @@ class QueryBroker:
             )
 
     def _note_entry_success(self, entry: _Admitted) -> None:
-        """A completed query closes the breakers of both its servers."""
+        """A completed query closes the breakers of all its servers' units."""
         for base in (entry.base_r, entry.base_s):
             if base is None:
                 continue
-            breaker = self._breakers.get(id(base))
-            if breaker is not None and breaker.open_until_wave is None:
-                breaker.failures = 0
+            for unit in base.breaker_units():
+                breaker = self._breakers.get(unit.breaker_token)
+                if breaker is not None and breaker.open_until_wave is None:
+                    breaker.failures = 0
 
     def _fail_entry(self, entry: _Admitted, error: BaseException) -> None:
         """Isolate one failed query from its wave."""
@@ -692,7 +747,7 @@ class QueryBroker:
             # the shared rendezvous every worker barriers on.
             answers_for: Dict[Tuple[int, str], List[int]] = {}
             for group in groups.values():
-                values = group.base.index.count_batch(group.windows)
+                values = group.base.evaluate_count_batch(group.windows)
                 self.stats.bump(
                     coalesced_exchanges=1,
                     coalesced_count_queries=len(group.windows),
@@ -720,8 +775,8 @@ class QueryBroker:
             # execution state (results are kept).
             if entry.device is not None:
                 entry.fingerprints = (
-                    entry.device.servers.r.channel.ledger_fingerprint(),
-                    entry.device.servers.s.channel.ledger_fingerprint(),
+                    entry.device.servers.r.ledger_fingerprint(),
+                    entry.device.servers.s.ledger_fingerprint(),
                 )
             if entry.failure is None:
                 self._note_entry_success(entry)

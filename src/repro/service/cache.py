@@ -203,6 +203,11 @@ def query_key(query: JoinQuery, algorithm: str, default_config) -> Tuple:
         query.faults,
         query.retry,
         query.deadline_s,
+        # Sharding changes byte totals and per-shard ledgers (never the
+        # pairs), so differently-sharded runs are distinct results.
+        query.shards_r,
+        query.shards_s,
+        query.shard_scheme,
     )
 
 

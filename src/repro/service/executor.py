@@ -70,11 +70,15 @@ def audit_ledger_isolation(devices: Sequence) -> None:
             "operator counters": device.counts,
             "server view R": device.servers.r,
             "server view S": device.servers.s,
-            "channel R": device.servers.r.channel,
-            "channel S": device.servers.s.channel,
-            "server stats R": device.servers.r.backing_server.stats,
-            "server stats S": device.servers.s.backing_server.stats,
         }
+        # Every channel and every per-server statistics object behind a
+        # connection -- one each for a plain server, one per shard for a
+        # fleet -- must be private to its query.
+        for side, server in (("R", device.servers.r), ("S", device.servers.s)):
+            for i, channel in enumerate(server.channels):
+                components[f"channel {side}[{i}]"] = channel
+            for i, stats in enumerate(server.stat_objects()):
+                components[f"server stats {side}[{i}]"] = stats
         for label, obj in components.items():
             owner = seen.setdefault(id(obj), f"query #{position}")
             if owner != f"query #{position}":

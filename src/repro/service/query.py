@@ -80,6 +80,13 @@ class JoinQuery:
     deadline_s:
         Optional per-query deadline budget in simulated seconds; crossing
         it fails the query with a typed ``QueryTimeout``.
+    shards_r, shards_s, shard_scheme:
+        Shard counts per side and the partitioning scheme.  A count > 1
+        makes the broker build (and cache) that side as a partitioned
+        :class:`~repro.server.sharded.ShardedSpatialServer` fleet with
+        per-shard channels, ledgers, breakers and fault substreams; join
+        pairs stay bit-identical to the unsharded run.  SemiJoin queries
+        must stay unsharded.
     """
 
     dataset_r: SpatialDataset
@@ -97,10 +104,22 @@ class JoinQuery:
     faults: Optional["FaultPlan"] = None
     retry: Optional["RetryPolicy"] = None
     deadline_s: Optional[float] = None
+    shards_r: int = 1
+    shards_s: int = 1
+    shard_scheme: str = "grid"
 
     def __post_init__(self) -> None:
         if self.buffer_size <= 0:
             raise ValueError("buffer_size must be positive")
+        if self.shards_r < 1 or self.shards_s < 1:
+            raise ValueError("shard counts must be >= 1")
+        from repro.datasets.partition import PARTITION_SCHEMES
+
+        if self.shard_scheme not in PARTITION_SCHEMES:
+            raise ValueError(
+                f"unknown partition scheme {self.shard_scheme!r}; "
+                f"available: {PARTITION_SCHEMES}"
+            )
 
     def resolved_window(self) -> Rect:
         """The joined region (defaults to the union MBR of both datasets).

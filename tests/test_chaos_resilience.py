@@ -465,3 +465,50 @@ class TestResumableRounds:
             "srjoin", twin_device, spec, execution="frontier"
         ).run(window)
         _assert_identical(result, reference)
+
+
+# --------------------------------------------------------------------------- #
+# session reuse
+# --------------------------------------------------------------------------- #
+
+
+class TestSessionReuse:
+    """A reused :class:`AdHocJoinSession` must be indistinguishable from a
+    fresh one: :meth:`AdHocJoinSession.run` resets the resilience
+    controller, so every run re-instantiates the fault plan from its seed
+    and draws the very same deterministic fault streams."""
+
+    def test_reused_session_replays_identical_fault_streams(self):
+        from repro.api import AdHocJoinSession
+
+        r, s = _datasets()
+        plan = RECOVERABLE_PLANS[0]
+        session = AdHocJoinSession(r, s, buffer_size=BUFFER, faults=plan)
+        first = session.run("upjoin", epsilon=0.03)
+        reused = session.run("upjoin", epsilon=0.03)
+        fresh = AdHocJoinSession(r, s, buffer_size=BUFFER, faults=plan).run(
+            "upjoin", epsilon=0.03
+        )
+        _assert_identical(reused, first)
+        _assert_identical(fresh, first)
+        # The fault *streams* replay too, not just the primary-lane
+        # metering: same events, same retry-lane bytes, run after run.
+        assert reused.resilience["fault_events"] == first.resilience["fault_events"]
+        assert reused.resilience["retry_bytes"] == first.resilience["retry_bytes"]
+        assert fresh.resilience["fault_events"] == first.resilience["fault_events"]
+        assert _faults_fired(first.resilience) > 0
+
+    def test_reused_session_interleaves_algorithms_without_bleed(self):
+        from repro.api import AdHocJoinSession
+
+        r, s = _datasets()
+        plan = RECOVERABLE_PLANS[1]
+        session = AdHocJoinSession(
+            r, s, buffer_size=BUFFER, faults=plan, indexed=False,
+            shards_r=2, shards_s=3,
+        )
+        before = session.run("srjoin", epsilon=0.03)
+        session.run("mobijoin", epsilon=0.03)  # perturbs all counters
+        after = session.run("srjoin", epsilon=0.03)
+        _assert_identical(after, before)
+        assert after.resilience["fault_events"] == before.resilience["fault_events"]
