@@ -1,0 +1,169 @@
+"""Availability record of the replicated shard fleets.
+
+The PR 9 replication plane publishes every shard on R replica servers
+sharing one immutable dataset build; the connection routes each exchange
+through a replica router and fails lost exchanges over to sibling replicas
+mid-query.  This benchmark records two things in
+``benchmarks/results/failover_availability.json``:
+
+* **Zero-fault overhead.**  Serving the same localized frontier-join batch
+  at R=1 and R=2 with no faults, pair sets asserted bit-identical before
+  timing.  Replication only adds idle channels and router bookkeeping, so
+  the recorded ``min_speedup`` floor asserts the replicated run costs no
+  more than ~1.11x the plain run (``speedup >= 0.90``).
+* **Availability under replica outages.**  At R in {2, 3}, killing k
+  replicas of one shard for the whole run: for every k < R each query
+  fails over and completes bit-identically to the fault-free run
+  (survival fraction 1.0, floored at 1.0); at k = R the shard is gone and
+  the measured fraction (queries whose windows never touch the dead
+  shard) is recorded unfloored as documentation of the degradation mode.
+
+``benchmarks/collect.py --check`` enforces the recorded floors forever
+after.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.core.join_types import JoinSpec
+from repro.core.planner import run_join
+from repro.datasets.synthetic import clustered
+from repro.errors import ServerUnavailable
+from repro.geometry.rect import Rect
+from repro.network.faults import FaultPlan, replica_outages
+
+BENCH_CLUSTERS = 32
+BENCH_BUFFER = 100
+BENCH_QUERIES = 6
+BENCH_EPSILON = 0.005
+BENCH_N = 1500
+BENCH_SHARDS = 2
+#: Alternating repeats per mode (best-of is recorded -- the minimum is the
+#: standard noise-robust wall-clock estimator).
+REPEATS = 5
+#: The replicated zero-fault run may cost at most ~1.11x the plain run.
+MIN_OVERHEAD_SPEEDUP = 0.90
+#: Every query must survive k < R replica outages via failover.
+MIN_SURVIVAL = 1.0
+
+RESULTS_PATH = Path(__file__).parent / "results" / "failover_availability.json"
+
+
+def _queries() -> List[Tuple]:
+    r = clustered(n=BENCH_N, clusters=BENCH_CLUSTERS, seed=0, name="R")
+    s = clustered(n=BENCH_N, clusters=BENCH_CLUSTERS, seed=1000, name="S")
+    spec = JoinSpec.distance(BENCH_EPSILON)
+    bounds = r.bounds().union(s.bounds())
+    out = []
+    for i in range(BENCH_QUERIES):
+        # Localized windows, as in the sharding record: queries touch a
+        # moving subset of the shards.
+        x0 = bounds.xmin + i * bounds.width / (BENCH_QUERIES + 2)
+        window = Rect(x0, bounds.ymin, x0 + 0.3 * bounds.width, bounds.ymax)
+        out.append((r, s, spec, window))
+    return out
+
+
+def _run_batch(queries, replicas: int, faults=None) -> Tuple[float, List]:
+    """Serve the batch; failed queries record ``None`` pair sets."""
+    snapshots = []
+    t0 = time.perf_counter()
+    for r, s, spec, window in queries:
+        try:
+            result = run_join(
+                r, s, spec, algorithm="srjoin", buffer_size=BENCH_BUFFER,
+                window=window, shards_r=BENCH_SHARDS, shards_s=BENCH_SHARDS,
+                shard_scheme="str", replicas=replicas, faults=faults,
+            )
+        except ServerUnavailable:
+            snapshots.append(None)
+        else:
+            snapshots.append(result.sorted_pairs())
+    return time.perf_counter() - t0, snapshots
+
+
+@pytest.mark.perf
+def test_failover_record():
+    """Record replication overhead and k-outage survival fractions."""
+    queries = _queries()
+    cases: Dict[str, Dict] = {}
+
+    # ---- zero-fault overhead floor ---------------------------------- #
+    # Correctness first: replication must be invisible before any timing
+    # is worth recording.
+    _, plain_pairs = _run_batch(queries, replicas=1)
+    _, replicated_pairs = _run_batch(queries, replicas=2)
+    assert plain_pairs == replicated_pairs
+    assert all(pairs is not None for pairs in plain_pairs)
+
+    plain_best = replicated_best = float("inf")
+    for _ in range(REPEATS):
+        plain_s, _ = _run_batch(queries, replicas=1)
+        replicated_s, _ = _run_batch(queries, replicas=2)
+        plain_best = min(plain_best, plain_s)
+        replicated_best = min(replicated_best, replicated_s)
+
+    overhead = round(plain_best / replicated_best, 4)
+    cases["zero_fault_overhead_r2"] = {
+        "replicas": 2,
+        "plain_s": round(plain_best, 4),
+        "replicated_s": round(replicated_best, 4),
+        "speedup": overhead,
+        "min_speedup": MIN_OVERHEAD_SPEEDUP,
+        "bit_identical": True,
+    }
+
+    # ---- availability under k replica outages ----------------------- #
+    for replicas in (2, 3):
+        for k in range(1, replicas + 1):
+            plan = FaultPlan(
+                seed=0,
+                outages=replica_outages(
+                    "R#0", replicas, 0, 10_000_000, indices=range(k)
+                ),
+            )
+            _, pairs = _run_batch(queries, replicas=replicas, faults=plan)
+            survived = sum(1 for p in pairs if p is not None)
+            fraction = round(survived / len(queries), 4)
+            case = {
+                "replicas": replicas,
+                "replicas_killed": k,
+                "survived": survived,
+                "queries": len(queries),
+                "speedup": fraction,
+            }
+            if k < replicas:
+                # Failover must carry every query, bit-identically.
+                case["min_speedup"] = MIN_SURVIVAL
+                assert pairs == plain_pairs
+            cases[f"survival_r{replicas}_k{k}"] = case
+
+    record = {
+        "benchmark": (
+            "replicated fleet failover (zero-fault overhead ratio + "
+            "fraction of queries surviving k replica outages)"
+        ),
+        "queries": BENCH_QUERIES,
+        "n_per_side": BENCH_N,
+        "shards": BENCH_SHARDS,
+        "clusters": BENCH_CLUSTERS,
+        "buffer": BENCH_BUFFER,
+        "repeats": REPEATS,
+        "scheme": "str",
+        "cases": cases,
+    }
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    for label, numbers in cases.items():
+        floor = numbers.get("min_speedup")
+        if floor is not None:
+            assert numbers["speedup"] >= floor, (
+                f"replicated fleet failed its floor at {label}: "
+                f"{numbers['speedup']} < {floor}"
+            )

@@ -39,6 +39,7 @@ from repro.geometry.rect import Rect
 from repro.network.config import NetworkConfig
 from repro.network.faults import FaultPlan, RetryPolicy
 from repro.datasets.partition import PARTITION_SCHEMES, partition_dataset
+from repro.server.remote import ROUTER_POLICIES
 from repro.server.server import SpatialServer
 from repro.server.sharded import ShardedSpatialServer
 from repro.service.broker import QueryBroker
@@ -60,6 +61,7 @@ __all__ = [
     "RetryExhausted",
     "RetryPolicy",
     "ServerUnavailable",
+    "ROUTER_POLICIES",
     "ServiceClosed",
     "ShardedSpatialServer",
     "available_algorithms",
@@ -97,6 +99,8 @@ def quick_join(
     shards_r: int = 1,
     shards_s: int = 1,
     shard_scheme: str = "grid",
+    replicas: int = 1,
+    router: Optional[str] = None,
 ) -> JoinResult:
     """Run one ad-hoc distributed spatial join end to end.
 
@@ -145,6 +149,15 @@ def quick_join(
         metered channel (and fault substream) per shard.  Join pairs are
         bit-identical to the unsharded run; byte totals reflect the
         scatter.  SemiJoin requires unsharded servers.
+    replicas, router:
+        Replication factor per shard and replica-routing policy.  A factor
+        > 1 publishes every shard on R replica servers sharing one index
+        build, each with its own channel and fault substream; a lost
+        exchange fails over to a sibling replica mid-query, and the
+        primary metering lane stays bit-identical to the unreplicated
+        fault-free run under any recoverable plan.  ``router`` names a
+        :data:`~repro.server.remote.ROUTER_POLICIES` entry (``None`` ->
+        healthy-first).  SemiJoin requires unreplicated servers.
 
     Returns
     -------
@@ -164,6 +177,8 @@ def quick_join(
         shards_r=shards_r,
         shards_s=shards_s,
         shard_scheme=shard_scheme,
+        replicas=replicas,
+        router=router,
     )
     return session.run(
         algorithm=algorithm,
@@ -241,6 +256,8 @@ class AdHocJoinSession:
         shards_r: int = 1,
         shards_s: int = 1,
         shard_scheme: str = "grid",
+        replicas: int = 1,
+        router: Optional[str] = None,
     ) -> None:
         """``servers`` accepts a pre-built ``(server_r, server_s)`` pair.
 
@@ -257,8 +274,9 @@ class AdHocJoinSession:
         fault-free run (retry traffic is ledgered on a separate lane).
 
         ``shards_r``/``shards_s``/``shard_scheme`` publish a side as a
-        partitioned shard fleet (see :func:`quick_join`); ignored when
-        ``servers`` injects pre-built instances.
+        partitioned shard fleet, and ``replicas``/``router`` publish each
+        shard on R failover replicas (see :func:`quick_join`); both are
+        ignored when ``servers`` injects pre-built instances.
         """
         self.dataset_r = dataset_r
         self.dataset_s = dataset_s
@@ -278,6 +296,8 @@ class AdHocJoinSession:
             shards_r=shards_r,
             shards_s=shards_s,
             shard_scheme=shard_scheme,
+            replicas=replicas,
+            router=router,
         )
         self._history: List[JoinResult] = []
 

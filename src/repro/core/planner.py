@@ -131,6 +131,8 @@ def build_session_stack(
     shards_r: int = 1,
     shards_s: int = 1,
     shard_scheme: str = "grid",
+    replicas: int = 1,
+    router: Optional[str] = None,
 ) -> Tuple[SpatialServer, SpatialServer, MobileDevice]:
     """Build the two servers, the metered connections and the device.
 
@@ -147,15 +149,34 @@ def build_session_stack(
     shards it intersects and merges the answers, with one metered channel
     per shard.  SemiJoin (``indexed=True``) requires unsharded servers.
 
+    ``replicas`` (> 1) publishes each shard on R replica servers sharing
+    one index build, each with its own channel and fault substream; the
+    connection routes every exchange through the ``router`` policy (a
+    :data:`~repro.server.remote.ROUTER_POLICIES` name, default
+    healthy-first) and fails over to a sibling replica on retry
+    exhaustion.  Replication applies to both sides and requires sharded-
+    capable algorithms (i.e. not SemiJoin).
+
     ``faults``/``retry``/``deadline_s`` attach a per-session
     :class:`~repro.server.remote.ResilienceController` (a seeded
     :class:`~repro.network.faults.FaultPlan`, a retry policy, and a
     simulated-time deadline budget) to both connections.
     """
     config = config or NetworkConfig()
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    if indexed and replicas > 1:
+        raise ValueError(
+            "semijoin needs index-published servers; replicated fleets do "
+            "not publish a single R-tree"
+        )
     if servers is None:
-        server_r = _build_server(dataset_r, "R", shards_r, shard_scheme, index_fanout)
-        server_s = _build_server(dataset_s, "S", shards_s, shard_scheme, index_fanout)
+        server_r = _build_server(
+            dataset_r, "R", shards_r, shard_scheme, index_fanout, replicas
+        )
+        server_s = _build_server(
+            dataset_s, "S", shards_s, shard_scheme, index_fanout, replicas
+        )
     else:
         server_r, server_s = servers
     resilience = None
@@ -164,7 +185,12 @@ def build_session_stack(
             faults=faults, retry=retry, deadline_s=deadline_s
         )
     pair = ServerPair.connect(
-        server_r, server_s, config=config, indexed=indexed, resilience=resilience
+        server_r,
+        server_s,
+        config=config,
+        indexed=indexed,
+        resilience=resilience,
+        router=router,
     )
     device = MobileDevice(pair, buffer_size=buffer_size)
     return server_r, server_s, device
@@ -176,14 +202,20 @@ def _build_server(
     shards: int,
     scheme: str,
     index_fanout: int,
+    replicas: int = 1,
 ):
-    """One side's server build: a single server, or a shard fleet."""
+    """One side's server build: a single server, or a (replicated) fleet."""
     if shards < 1:
         raise ValueError("shard counts must be >= 1")
-    if shards == 1:
+    if shards == 1 and replicas == 1:
         return SpatialServer(dataset.rename(name), name=name, index_fanout=index_fanout)
     return ShardedSpatialServer(
-        dataset, name=name, shards=shards, scheme=scheme, index_fanout=index_fanout
+        dataset,
+        name=name,
+        shards=shards,
+        scheme=scheme,
+        index_fanout=index_fanout,
+        replicas=replicas,
     )
 
 
@@ -220,6 +252,8 @@ def run_join(
     shards_r: int = 1,
     shards_s: int = 1,
     shard_scheme: str = "grid",
+    replicas: int = 1,
+    router: Optional[str] = None,
     **algorithm_kwargs: object,
 ) -> JoinResult:
     """Build the full stack, run one algorithm, return the measured result.
@@ -246,6 +280,10 @@ def run_join(
     shards_r, shards_s, shard_scheme:
         Shard counts per side (> 1 publishes the side as a partitioned
         server fleet) and the partitioning scheme.
+    replicas, router:
+        Replication factor per shard (> 1 publishes every shard on R
+        replica servers with mid-query failover) and the replica-routing
+        policy name (default healthy-first).
     """
     indexed = algorithm.lower() == "semijoin"
     _, _, device = build_session_stack(
@@ -261,6 +299,8 @@ def run_join(
         shards_r=shards_r,
         shards_s=shards_s,
         shard_scheme=shard_scheme,
+        replicas=replicas,
+        router=router,
     )
     algo = build_algorithm(algorithm, device, spec, params, **algorithm_kwargs)
     if window is None:

@@ -212,10 +212,13 @@ class MobileDevice:
     def estimated_response_time(self) -> float:
         """Estimated wall-clock seconds to replay all traffic over the link.
 
-        Every connection channel log (one per server, or one per shard for
-        a sharded connection) is reduced with the link model's NumPy closed
-        form (a handful of array reductions per channel, regardless of log
-        length); the per-record scalar walk survives as
+        Every connection channel log -- one per server, one per shard for a
+        sharded connection, one per *replica* for a replicated fleet (the
+        ``channels`` property flattens replica channels, so traffic that
+        failed over to a sibling replica is counted on the channel that
+        actually carried it) -- is reduced with the link model's NumPy
+        closed form (a handful of array reductions per channel, regardless
+        of log length); the per-record scalar walk survives as
         ``link.estimate_channel_time(channel, method="scalar")`` and the
         wifi tests pin the two within float tolerance.
         """

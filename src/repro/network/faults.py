@@ -35,7 +35,7 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass
 from enum import Enum
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -47,6 +47,7 @@ __all__ = [
     "FaultPlan",
     "Outage",
     "RetryPolicy",
+    "replica_outages",
 ]
 
 
@@ -81,6 +82,32 @@ class Outage:
 
     def covers(self, op_index: int) -> bool:
         return self.start <= op_index < self.start + self.length
+
+
+def replica_outages(
+    shard: str,
+    replicas: int,
+    start: int,
+    length: int,
+    indices: Optional[Sequence[int]] = None,
+) -> Tuple[Outage, ...]:
+    """Outages covering the named replicas of one replicated shard.
+
+    Replica channels are named ``"<shard>/<j>"`` and fault substreams are
+    keyed by exact channel name, so ``Outage("R#0", ...)`` never touches a
+    replica of shard ``"R#0"`` -- this helper builds the per-replica
+    outages instead.  ``indices`` selects which replicas to kill (default:
+    all of them, i.e. the whole shard goes dark).
+    """
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    chosen = range(replicas) if indices is None else indices
+    out = []
+    for j in chosen:
+        if not 0 <= j < replicas:
+            raise ValueError(f"replica index {j} out of range for R={replicas}")
+        out.append(Outage(f"{shard}/{j}", start, length))
+    return tuple(out)
 
 
 @dataclass(frozen=True)

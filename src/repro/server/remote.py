@@ -27,6 +27,19 @@ the controller, which accounts failed/duplicated attempts on the channel's
 retry lane and the one successful attempt on the primary lane.  The primary
 ledger of a fault-injected run is therefore structurally identical to the
 fault-free run; only the retry lane and the resilience counters differ.
+
+Replication (PR 9).  A shard published on R > 1 replicas is fronted by a
+:class:`ReplicatedRemoteServer`: one channel (and one deterministic fault
+substream) per replica, with every exchange routed through a pluggable
+:class:`ReplicaRouter`.  When an exchange exhausts its retries on one
+replica, the proxy *fails over*: the identical request is replayed against
+a sibling replica (idempotent request ids make the replay safe).  The
+failed attempts were already accounted on the losing replica's retry lane,
+and the winning replica accounts the exchange on its primary lane -- so the
+shard-level merged primary ledger stays bit-identical to the unreplicated
+fault-free run under any recoverable plan.  Only when every replica of a
+shard fails the same exchange does the proxy surface a typed
+:class:`~repro.errors.ServerUnavailable` for the whole shard.
 """
 
 from __future__ import annotations
@@ -59,8 +72,15 @@ from repro.server.sharded import ShardedSpatialServer
 __all__ = [
     "RemoteServer",
     "IndexedRemoteServer",
+    "ReplicatedRemoteServer",
     "ShardedRemoteServer",
     "ResilienceController",
+    "ReplicaRouter",
+    "HealthyFirstRouter",
+    "RoundRobinRouter",
+    "LeastRetryBytesRouter",
+    "ROUTER_POLICIES",
+    "make_router",
     "ServerPair",
 ]
 
@@ -103,6 +123,8 @@ class ResilienceController:
         self.stalls = 0
         self.duplicates_discarded = 0
         self.unavailable = 0
+        self.failovers = 0
+        self._failover_events: List[Tuple[str, str, str, str]] = []
         self._injectors: Dict[str, FaultInjector] = {}
         self._channels: List[Channel] = []
 
@@ -225,6 +247,8 @@ class ResilienceController:
         self.stalls = 0
         self.duplicates_discarded = 0
         self.unavailable = 0
+        self.failovers = 0
+        self._failover_events.clear()
         self._injectors.clear()
 
     def _advance(self, seconds: float, label: str) -> None:
@@ -235,6 +259,17 @@ class ResilienceController:
                 f"query deadline budget exceeded during {label!r}: "
                 f"{self.elapsed_s:.3f}s simulated > {self.deadline_s:.3f}s budget"
             )
+
+    def note_failover(self, shard: str, replica: str, label: str, kind: str) -> None:
+        """Record one mid-query failover (a replica exchange abandoned).
+
+        Called by :class:`ReplicatedRemoteServer` after an exchange
+        exhausted its retries on one replica and is about to replay on a
+        sibling; the broker reads the per-replica events to charge the
+        right breaker units.
+        """
+        self.failovers += 1
+        self._failover_events.append((shard, replica, label, kind))
 
     # ------------------------------------------------------------------ #
 
@@ -254,6 +289,8 @@ class ResilienceController:
             "stalls": self.stalls,
             "duplicates_discarded": self.duplicates_discarded,
             "unavailable": self.unavailable,
+            "failovers": self.failovers,
+            "failover_events": tuple(self._failover_events),
             "retry_bytes": {ch.name: ch.retry_bytes for ch in self._channels},
             "fault_events": self.fault_events(),
         }
@@ -287,16 +324,22 @@ class RemoteServer(SpatialServerInterface):
 
     # ------------------------------------------------------------------ #
 
-    def _exchange(self, label: str, account: Callable[[], None]) -> None:
+    def _exchange(self, label: str, account: Callable[[Channel], None]) -> None:
         """Account one logical exchange, via the resilience layer if any.
 
         The server evaluation must already have happened (exactly once)
-        when this is called; ``account`` only writes channel records.
+        when this is called; ``account`` only writes channel records.  It
+        takes the channel to write to as a parameter so a replicated proxy
+        can replay the identical exchange onto a sibling replica's channel
+        (see :class:`ReplicatedRemoteServer`); a single-channel proxy
+        always passes its own channel.
         """
         if self.resilience is None:
-            account()
+            account(self.channel)
         else:
-            self.resilience.exchange(self.channel, label, account)
+            self.resilience.exchange(
+                self.channel, label, lambda: account(self.channel)
+            )
 
     @property
     def config(self) -> NetworkConfig:
@@ -318,9 +361,9 @@ class RemoteServer(SpatialServerInterface):
     def window(self, window: Rect) -> Tuple[np.ndarray, np.ndarray]:
         mbrs, oids = self._server.window(window)
 
-        def account() -> None:
-            self.channel.send_query(WindowQuery(window), label="window")
-            self.channel.send_response(ObjectPayload(mbrs, oids), label="window-result")
+        def account(channel: Channel) -> None:
+            channel.send_query(WindowQuery(window), label="window")
+            channel.send_response(ObjectPayload(mbrs, oids), label="window-result")
 
         self._exchange("window", account)
         return mbrs, oids
@@ -328,9 +371,9 @@ class RemoteServer(SpatialServerInterface):
     def count(self, window: Rect) -> int:
         value = self._server.count(window)
 
-        def account() -> None:
-            self.channel.send_query(CountQuery(window), label="count")
-            self.channel.send_response(ScalarResponse(float(value)), label="count-result")
+        def account(channel: Channel) -> None:
+            channel.send_query(CountQuery(window), label="count")
+            channel.send_response(ScalarResponse(float(value)), label="count-result")
 
         self._exchange("count", account)
         return value
@@ -369,12 +412,12 @@ class RemoteServer(SpatialServerInterface):
         mbrs, oids, bounds = self._server.window_batch_flat(windows)
         if windows:
 
-            def account() -> None:
-                self.channel.send_uniform_batch(
+            def account(channel: Channel) -> None:
+                channel.send_uniform_batch(
                     WindowQuery(windows[0]), len(windows), direction="up", label="window"
                 )
                 object_bytes = self.config.object_bytes
-                self.channel.send_payload_batch(
+                channel.send_payload_batch(
                     MessageKind.OBJECTS,
                     [int(c) * object_bytes for c in np.diff(bounds).tolist()],
                     direction="down",
@@ -429,11 +472,11 @@ class RemoteServer(SpatialServerInterface):
         if not windows:
             return
 
-        def account() -> None:
-            self.channel.send_uniform_batch(
+        def account(channel: Channel) -> None:
+            channel.send_uniform_batch(
                 CountQuery(windows[0]), len(windows), direction="up", label="count"
             )
-            self.channel.send_uniform_batch(
+            channel.send_uniform_batch(
                 ScalarResponse(0.0),
                 len(windows),
                 direction="down",
@@ -445,9 +488,9 @@ class RemoteServer(SpatialServerInterface):
     def range(self, center: Point, epsilon: float) -> Tuple[np.ndarray, np.ndarray]:
         mbrs, oids = self._server.range(center, epsilon)
 
-        def account() -> None:
-            self.channel.send_query(RangeQuery(center, epsilon), label="range")
-            self.channel.send_response(ObjectPayload(mbrs, oids), label="range-result")
+        def account(channel: Channel) -> None:
+            channel.send_query(RangeQuery(center, epsilon), label="range")
+            channel.send_response(ObjectPayload(mbrs, oids), label="range-result")
 
         self._exchange("range", account)
         return mbrs, oids
@@ -484,15 +527,15 @@ class RemoteServer(SpatialServerInterface):
         mbrs, oids, bounds = self._server.range_batch_flat(centers, radii)
         if len(centers):
 
-            def account() -> None:
-                self.channel.send_uniform_batch(
+            def account(channel: Channel) -> None:
+                channel.send_uniform_batch(
                     RangeQuery(centers[0], float(radii[0])),
                     len(centers),
                     direction="up",
                     label="range",
                 )
                 object_bytes = self.config.object_bytes
-                self.channel.send_payload_batch(
+                channel.send_payload_batch(
                     MessageKind.OBJECTS,
                     [int(c) * object_bytes for c in np.diff(bounds).tolist()],
                     direction="down",
@@ -512,13 +555,13 @@ class RemoteServer(SpatialServerInterface):
         radii_tuple = tuple(float(r) for r in radii) if radii is not None else None
         mbrs, oids, probes = self._server.bucket_range(centers, epsilon, radii_tuple)
 
-        def account() -> None:
-            self.channel.send_query(
+        def account(channel: Channel) -> None:
+            channel.send_query(
                 BucketRangeQuery(centers, epsilon, radii_tuple), label="bucket-range"
             )
             # Eq. 5 of the paper charges one extra object-sized separator per
             # probe in the bucket response (the "+ Bobj" term).
-            self.channel.send_response(
+            channel.send_response(
                 ObjectPayload(mbrs, oids, per_probe_overhead_objects=len(centers)),
                 label="bucket-range-result",
             )
@@ -529,11 +572,11 @@ class RemoteServer(SpatialServerInterface):
     def average_mbr_area(self, window: Rect) -> float:
         value = self._server.average_mbr_area(window)
 
-        def account() -> None:
-            self.channel.send_query(
+        def account(channel: Channel) -> None:
+            channel.send_query(
                 AggregateQuery(window, "avg_mbr_area"), label="aggregate"
             )
-            self.channel.send_response(ScalarResponse(value), label="aggregate-result")
+            channel.send_response(ScalarResponse(value), label="aggregate-result")
 
         self._exchange("aggregate", account)
         return value
@@ -589,12 +632,12 @@ class IndexedRemoteServer(RemoteServer):
         """Height of the server's R-tree (metadata; accounted as an aggregate)."""
         height = self._server.index.rtree.height
 
-        def account() -> None:
-            self.channel.send_query(
+        def account(channel: Channel) -> None:
+            channel.send_query(
                 AggregateQuery(self._server.dataset.bounds(), "count"),
                 label="tree-height",
             )
-            self.channel.send_response(
+            channel.send_response(
                 ScalarResponse(float(height)), label="tree-height-result"
             )
 
@@ -605,11 +648,11 @@ class IndexedRemoteServer(RemoteServer):
         """Total object count (metadata; accounted as an aggregate exchange)."""
         n = len(self._server.dataset)
 
-        def account() -> None:
-            self.channel.send_query(
+        def account(channel: Channel) -> None:
+            channel.send_query(
                 AggregateQuery(self._server.dataset.bounds(), "count"), label="size"
             )
-            self.channel.send_response(ScalarResponse(float(n)), label="size-result")
+            channel.send_response(ScalarResponse(float(n)), label="size-result")
 
         self._exchange("size", account)
         return n
@@ -628,12 +671,12 @@ class IndexedRemoteServer(RemoteServer):
             mbrs = np.empty((0, 4))
         oids = np.arange(mbrs.shape[0], dtype=np.int64)
 
-        def account() -> None:
-            self.channel.send_query(
+        def account(channel: Channel) -> None:
+            channel.send_query(
                 AggregateQuery(self._server.dataset.bounds(), "count"),
                 label="level-mbrs",
             )
-            self.channel.send_response(
+            channel.send_response(
                 ObjectPayload(mbrs, oids), label="level-mbrs-result"
             )
 
@@ -700,8 +743,8 @@ class IndexedRemoteServer(RemoteServer):
         mbrs_out = all_mbrs[keep]
         oids_out = all_oids[keep]
 
-        def account() -> None:
-            self.channel.send_query(
+        def account(channel: Channel) -> None:
+            channel.send_query(
                 BucketRangeQuery(
                     tuple(Point(float(w[0]), float(w[1])) for w in win_arr), 0.0
                 ),
@@ -709,7 +752,7 @@ class IndexedRemoteServer(RemoteServer):
             )
             # The probe payload above only accounts the query string + one
             # object per window; exactly what shipping the MBR list costs.
-            self.channel.send_response(
+            channel.send_response(
                 ObjectPayload(mbrs_out, oids_out), label="semijoin-objects"
             )
 
@@ -750,8 +793,8 @@ class IndexedRemoteServer(RemoteServer):
         result_mbrs = np.zeros((len(pairs), 4), dtype=np.float64)
         result_oids = np.arange(len(pairs), dtype=np.int64)
 
-        def account() -> None:
-            self.channel.send_query(
+        def account(channel: Channel) -> None:
+            channel.send_query(
                 BucketRangeQuery(
                     tuple(
                         Point(float((m[0] + m[2]) / 2.0), float((m[1] + m[3]) / 2.0))
@@ -761,12 +804,396 @@ class IndexedRemoteServer(RemoteServer):
                 ),
                 label="semijoin-upload",
             )
-            self.channel.send_response(
+            channel.send_response(
                 ObjectPayload(result_mbrs, result_oids), label="semijoin-result"
             )
 
         self._exchange("semijoin-upload", account)
         return pairs
+
+
+class ReplicaRouter:
+    """Deterministic replica-choice policy for one shard's replica set.
+
+    The router ranks the replicas of one shard before every exchange;
+    :class:`ReplicatedRemoteServer` tries them in that order, failing over
+    to the next candidate when an exchange exhausts its retries.  Ranking
+    consults two kinds of state:
+
+    * **broker marks** (:meth:`mark_down` / :meth:`mark_probe`): breaker
+      verdicts applied at admission time -- a cooling replica is routed
+      around (tried last-resort only), a half-open replica is *preferred*
+      so the probe traffic reaches the recovering server;
+    * **session failures** (:meth:`note_failure`): replicas that already
+      failed an exchange of this query sink below the healthy ones for the
+      rest of the query (cleared by :meth:`reset`, i.e. per run).
+
+    Within a rank the tie-break is policy-specific but always
+    deterministic: same marks, same history, same order.  Subclasses
+    override :meth:`_key` (the within-rank sort key) and optionally
+    :meth:`_advance` (state evolved once per routed exchange).
+    """
+
+    policy = "healthy"
+
+    def __init__(self) -> None:
+        self._names: Tuple[str, ...] = ()
+        self._channels: Tuple[Channel, ...] = ()
+        self._down: set = set()
+        self._probe: set = set()
+        self._failed: set = set()
+
+    def bind(self, names: Sequence[str], channels: Sequence[Channel]) -> None:
+        """Attach the replica names/channels this router chooses among."""
+        self._names = tuple(names)
+        self._channels = tuple(channels)
+
+    # -- broker health marks ------------------------------------------- #
+
+    def mark_down(self, name: str) -> None:
+        """Route around ``name`` (its breaker is open and still cooling)."""
+        if name in self._names:
+            self._down.add(name)
+            self._probe.discard(name)
+
+    def mark_probe(self, name: str) -> None:
+        """Prefer ``name`` (half-open breaker: send the probe to it)."""
+        if name in self._names:
+            self._probe.add(name)
+            self._down.discard(name)
+
+    # -- session failure memory ---------------------------------------- #
+
+    def note_failure(self, idx: int) -> None:
+        self._failed.add(idx)
+
+    def note_success(self, idx: int) -> None:
+        self._failed.discard(idx)
+
+    def reset(self) -> None:
+        """Forget session failures (broker marks survive; they are per-stack)."""
+        self._failed.clear()
+
+    # -- ordering ------------------------------------------------------- #
+
+    def _rank(self, idx: int) -> int:
+        name = self._names[idx]
+        if name in self._down:
+            return 3
+        if idx in self._failed:
+            return 2
+        if name in self._probe:
+            return 0
+        return 1
+
+    def _key(self, idx: int):
+        """Within-rank tie-break; the default is the stable replica index."""
+        return idx
+
+    def _ordered(self) -> List[int]:
+        return sorted(
+            range(len(self._names)), key=lambda i: (self._rank(i), self._key(i), i)
+        )
+
+    def _advance(self) -> None:
+        """Evolve per-exchange state (default: stateless)."""
+
+    def order(self) -> List[int]:
+        """Full candidate order for one exchange (advances policy state)."""
+        out = self._ordered()
+        self._advance()
+        return out
+
+    def peek(self) -> int:
+        """The replica the *next* :meth:`order` call will try first.
+
+        Never advances state: the proxy evaluates the backing server on the
+        peeked replica, then routes the accounting through :meth:`order`,
+        and the two must agree.
+        """
+        return self._ordered()[0]
+
+
+class HealthyFirstRouter(ReplicaRouter):
+    """Default policy: healthy replicas first, stable index tie-break."""
+
+    policy = "healthy"
+
+    def _ordered(self) -> List[int]:
+        # Fast path for the overwhelmingly common state: no marks, no
+        # session failures.  Rank and tie-break then both reduce to the
+        # stable replica index, so the order is the identity -- skipping
+        # the sort keeps zero-fault replication overhead near zero
+        # (peek + order run before every exchange).
+        if not self._down and not self._probe and not self._failed:
+            return list(range(len(self._names)))
+        return super()._ordered()
+
+
+class RoundRobinRouter(ReplicaRouter):
+    """Rotate the preferred replica one step per routed exchange."""
+
+    policy = "round_robin"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cursor = 0
+
+    def _key(self, idx: int):
+        n = len(self._names)
+        return (idx - self._cursor) % n if n else 0
+
+    def _advance(self) -> None:
+        n = len(self._names)
+        if n:
+            self._cursor = (self._cursor + 1) % n
+
+
+class LeastRetryBytesRouter(ReplicaRouter):
+    """Prefer the replica whose channel has burned the fewest retry bytes."""
+
+    policy = "least_retry_bytes"
+
+    def _key(self, idx: int):
+        return (self._channels[idx].retry_bytes, idx)
+
+
+ROUTER_POLICIES: Dict[str, type] = {
+    "healthy": HealthyFirstRouter,
+    "round_robin": RoundRobinRouter,
+    "least_retry_bytes": LeastRetryBytesRouter,
+}
+
+
+def make_router(policy: Optional[str] = None) -> ReplicaRouter:
+    """Instantiate a replica-routing policy by name (``None`` -> default)."""
+    if policy is None:
+        return HealthyFirstRouter()
+    if isinstance(policy, ReplicaRouter):
+        return policy
+    cls = ROUTER_POLICIES.get(policy)
+    if cls is None:
+        raise ValueError(
+            f"unknown replica router policy {policy!r}; "
+            f"known: {sorted(ROUTER_POLICIES)}"
+        )
+    return cls()
+
+
+class ReplicatedRemoteServer(RemoteServer):
+    """A metered failover proxy in front of one shard's replica set.
+
+    Looks exactly like a :class:`RemoteServer` for the shard (same metered
+    methods, same evaluate-once structure) but holds one channel per
+    replica.  Every exchange is routed by a :class:`ReplicaRouter`; on
+    retry exhaustion against one replica the identical request is replayed
+    on the next candidate (the failed attempts stay on the loser's retry
+    lane), and only when every replica fails does the exchange surface a
+    shard-level :class:`~repro.errors.ServerUnavailable`.
+
+    The merged primary ledger is the failover invariant:
+    :meth:`ledger_fingerprint` splices the per-replica primary records back
+    into exchange order, yielding a fingerprint bit-identical to the one
+    the unreplicated shard channel would produce -- whichever replicas
+    served, under any recoverable plan, with any router policy.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        replicas: Sequence[SpatialServer],
+        channels: Sequence[Channel],
+        resilience: Optional[ResilienceController] = None,
+        router: Optional[ReplicaRouter] = None,
+    ) -> None:
+        replicas = tuple(replicas)
+        channels = tuple(channels)
+        if len(channels) != len(replicas):
+            raise ValueError("one channel per replica required")
+        if not replicas:
+            raise ValueError("a replicated proxy needs at least one replica")
+        self.name = name
+        self._replicas = replicas
+        self._channels_tuple = channels
+        # Representative channel: config/tariff reads only (all replica
+        # channels share both); never written to directly.
+        self.channel = channels[0]
+        self.resilience = resilience
+        self.router = router if router is not None else HealthyFirstRouter()
+        self.router.bind(tuple(rep.name for rep in replicas), channels)
+        #: ``(replica_index, primary_record_count)`` per successful
+        #: exchange, in exchange order -- the splice map of the merged
+        #: primary ledger.
+        self._primary_sequence: List[Tuple[int, int]] = []
+        #: ``(shard, replica_channel, label, kind)`` per abandoned replica
+        #: exchange (read by the broker to charge per-replica breakers).
+        self.failover_events: List[Tuple[str, str, str, str]] = []
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def _server(self) -> SpatialServer:
+        """The replica the next exchange will be routed to first.
+
+        Evaluation (and its statistics) follows the router's current first
+        choice; replicas share one immutable build, so the answer is the
+        same whichever replica evaluates.
+        """
+        return self._replicas[self.router.peek()]
+
+    def _exchange(self, label: str, account: Callable[[Channel], None]) -> None:
+        """Route one exchange across the replicas, failing over on loss.
+
+        Candidates are tried in router order.  A candidate that exhausts
+        its retries (or is declared unavailable) has already accounted its
+        attempts on its own retry lane; the exchange is then replayed
+        verbatim on the next candidate.  Unrecoverable faults (link
+        disconnect) and deadline timeouts are not failover events -- they
+        abort the query as before.
+        """
+        order = self.router.order()
+        for position, idx in enumerate(order):
+            channel = self._channels_tuple[idx]
+            before = len(channel.log.records)
+            try:
+                if self.resilience is None:
+                    account(channel)
+                else:
+                    self.resilience.exchange(
+                        channel, label, lambda: account(channel)
+                    )
+            except (ChannelFault, RetryExhausted) as err:
+                if isinstance(err, ChannelFault) and not err.recoverable:
+                    raise
+                kind = (
+                    err.kind
+                    if isinstance(err, ChannelFault)
+                    else err.last_fault.kind
+                )
+                self.router.note_failure(idx)
+                self.failover_events.append((self.name, channel.name, label, kind))
+                if self.resilience is not None:
+                    self.resilience.note_failover(
+                        self.name, channel.name, label, kind
+                    )
+                continue
+            self.router.note_success(idx)
+            self._primary_sequence.append(
+                (idx, len(channel.log.records) - before)
+            )
+            return
+        raise ServerUnavailable(
+            f"all {len(order)} replicas of shard {self.name!r} unavailable "
+            f"during {label!r}",
+            server=self.name,
+            op_index=None,
+            kind="unavailable",
+            recoverable=True,
+        )
+
+    def apply_health(self, health: Dict[str, str]) -> None:
+        """Apply broker breaker verdicts (``"down"`` / ``"probe"`` by name)."""
+        for name, state in health.items():
+            if state == "down":
+                self.router.mark_down(name)
+            elif state == "probe":
+                self.router.mark_probe(name)
+
+    # ------------------------------------------------------------------ #
+    # connection introspection (one channel per replica)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def channels(self) -> Tuple[Channel, ...]:
+        """All replica channels, replica order."""
+        return self._channels_tuple
+
+    def reset_channels(self) -> None:
+        for channel in self._channels_tuple:
+            channel.reset()
+        self._primary_sequence.clear()
+        self.failover_events.clear()
+        self.router.reset()
+
+    def channel_snapshot(self) -> Dict[str, object]:
+        """Shard ledger snapshot: summed totals plus per-replica detail."""
+        replica_snaps = [chan.snapshot() for chan in self._channels_tuple]
+        summed = (
+            "uplink_bytes",
+            "downlink_bytes",
+            "total_bytes",
+            "uplink_packets",
+            "downlink_packets",
+            "messages_up",
+            "messages_down",
+            "total_cost",
+        )
+        merged: Dict[str, object] = {"name": self.name}
+        for key in summed:
+            merged[key] = sum(snap[key] for snap in replica_snaps)
+        merged["tariff"] = self.tariff
+        merged["replicas"] = replica_snaps
+        return merged
+
+    def ledger_fingerprint(self) -> Tuple:
+        """The shard's merged primary-lane fingerprint (replica-agnostic).
+
+        Splices the per-replica primary records back into exchange order
+        using the ``(replica, record_count)`` sequence captured at exchange
+        time, and sums the per-replica primary counters.  Shaped exactly
+        like :meth:`Channel.ledger_fingerprint` of a single shard channel
+        (record tuples carry no channel name), so a replicated shard under
+        a recoverable plan fingerprints bit-identically to the unreplicated
+        fault-free shard.
+        """
+        cursors = [0] * len(self._channels_tuple)
+        merged_records: List[Tuple] = []
+        for idx, count in self._primary_sequence:
+            records = self._channels_tuple[idx].log.records
+            start = cursors[idx]
+            merged_records.extend(
+                (
+                    rec.direction,
+                    rec.kind.value,
+                    rec.payload_bytes,
+                    rec.wire_bytes,
+                    rec.packets,
+                    rec.label,
+                )
+                for rec in records[start : start + count]
+            )
+            cursors[idx] = start + count
+        sums = [0] * 6
+        for chan in self._channels_tuple:
+            for j, key in enumerate(
+                (
+                    "uplink_bytes",
+                    "downlink_bytes",
+                    "uplink_packets",
+                    "downlink_packets",
+                    "messages_up",
+                    "messages_down",
+                )
+            ):
+                sums[j] += getattr(chan, key)
+        return (self.name, *sums, tuple(merged_records))
+
+    def server_stats(self) -> Dict[str, int]:
+        """Replica-summed statistics (evaluation may move on failover)."""
+        totals: Dict[str, int] = {}
+        for rep in self._replicas:
+            for key, value in rep.stats.as_dict().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def stat_objects(self) -> Tuple[ServerQueryStats, ...]:
+        return tuple(rep.stats for rep in self._replicas)
+
+    def total_bytes(self) -> int:
+        return sum(chan.total_bytes for chan in self._channels_tuple)
+
+    def total_cost(self) -> float:
+        return sum(chan.total_cost for chan in self._channels_tuple)
 
 
 class ShardedRemoteServer(SpatialServerInterface):
@@ -794,17 +1221,44 @@ class ShardedRemoteServer(SpatialServerInterface):
         fleet: ShardedSpatialServer,
         channels: Sequence[Channel],
         resilience: Optional[ResilienceController] = None,
+        router: Optional[str] = None,
     ) -> None:
         channels = tuple(channels)
-        if len(channels) != len(fleet.shards):
-            raise ValueError("one channel per shard required")
+        expected = sum(len(group) for group in fleet.replica_groups)
+        if len(channels) != expected:
+            raise ValueError(
+                "one channel per replica required "
+                f"(fleet has {expected}, got {len(channels)})"
+            )
         self._fleet = fleet
         self.name = fleet.name
         self.resilience = resilience
-        self._proxies = tuple(
-            RemoteServer(shard, chan, resilience=resilience)
-            for shard, chan in zip(fleet.shards, channels)
-        )
+        self.router_policy = router
+        # One proxy per shard: a plain RemoteServer for an unreplicated
+        # shard (bit-identical to the PR 8 plane), a failover
+        # ReplicatedRemoteServer -- with its own router instance -- when
+        # the shard has siblings.  Channels arrive replica-major in fleet
+        # order: R#0/0, R#0/1, ..., R#1/0, ...
+        proxies: List[RemoteServer] = []
+        pos = 0
+        for group, shard_name in zip(fleet.replica_groups, fleet.shard_names):
+            group_chans = channels[pos : pos + len(group)]
+            pos += len(group)
+            if len(group) == 1:
+                proxies.append(
+                    RemoteServer(group[0], group_chans[0], resilience=resilience)
+                )
+            else:
+                proxies.append(
+                    ReplicatedRemoteServer(
+                        shard_name,
+                        group,
+                        group_chans,
+                        resilience=resilience,
+                        router=make_router(router),
+                    )
+                )
+        self._proxies = tuple(proxies)
         # Routing table: shard dataset bounds, None for empty shards (an
         # empty shard never answers and is never routed to).
         self._bounds = tuple(
@@ -1056,16 +1510,30 @@ class ShardedRemoteServer(SpatialServerInterface):
 
     @property
     def channels(self) -> Tuple[Channel, ...]:
-        """All per-shard accounting channels, shard order."""
-        return tuple(proxy.channel for proxy in self._proxies)
+        """All accounting channels, shard-major then replica order."""
+        return tuple(chan for proxy in self._proxies for chan in proxy.channels)
 
     def reset_channels(self) -> None:
         for proxy in self._proxies:
-            proxy.channel.reset()
+            proxy.reset_channels()
+
+    def apply_replica_health(self, health: Dict[str, str]) -> None:
+        """Push broker breaker verdicts down to the per-shard routers."""
+        for proxy in self._proxies:
+            if isinstance(proxy, ReplicatedRemoteServer):
+                proxy.apply_health(health)
+
+    def failover_events(self) -> Tuple[Tuple[str, str, str, str], ...]:
+        """All ``(shard, replica, label, kind)`` failovers, shard order."""
+        return tuple(
+            event
+            for proxy in self._proxies
+            for event in getattr(proxy, "failover_events", ())
+        )
 
     def channel_snapshot(self) -> Dict[str, object]:
         """Fleet ledger snapshot: summed totals plus per-shard detail."""
-        shard_snaps = [proxy.channel.snapshot() for proxy in self._proxies]
+        shard_snaps = [proxy.channel_snapshot() for proxy in self._proxies]
         summed = (
             "uplink_bytes",
             "downlink_bytes",
@@ -1084,15 +1552,23 @@ class ShardedRemoteServer(SpatialServerInterface):
         return merged
 
     def ledger_fingerprint(self) -> Tuple:
-        """Per-shard primary-lane fingerprints, shard order."""
-        return tuple(proxy.channel.ledger_fingerprint() for proxy in self._proxies)
+        """Per-shard primary-lane fingerprints, shard order.
+
+        A replicated shard contributes its replica-agnostic merged
+        fingerprint (see :meth:`ReplicatedRemoteServer.ledger_fingerprint`),
+        so the fleet fingerprint of a replicated run equals the
+        unreplicated one whenever the primary ledgers match.
+        """
+        return tuple(proxy.ledger_fingerprint() for proxy in self._proxies)
 
     def server_stats(self) -> Dict[str, int]:
         """Fleet-summed backing-server statistics."""
         return self._fleet.stats.as_dict()
 
     def stat_objects(self) -> Tuple[ServerQueryStats, ...]:
-        return tuple(shard.stats for shard in self._fleet.shards)
+        return tuple(
+            stats for proxy in self._proxies for stats in proxy.stat_objects()
+        )
 
     def total_bytes(self) -> int:
         """Total wire bytes over all shard connections so far."""
@@ -1136,16 +1612,22 @@ class ServerPair:
         config: Optional[NetworkConfig] = None,
         indexed: bool = False,
         resilience: Optional[ResilienceController] = None,
+        router: Optional[str] = None,
+        replica_health: Optional[Dict[str, str]] = None,
     ) -> "ServerPair":
         """Create metered connections to two servers with a shared config.
 
         Either side may be a :class:`~repro.server.sharded.ShardedSpatialServer`
         fleet, in which case its connection is a scatter/merge
         :class:`ShardedRemoteServer` with one channel (and one fault
-        substream) per shard.  ``resilience`` (if given) is shared by both
-        sides: one retry policy, one deadline budget and one fault-plan
-        instantiation per query, with a separate deterministic fault stream
-        per channel name.
+        substream) per *replica*.  ``resilience`` (if given) is shared by
+        both sides: one retry policy, one deadline budget and one
+        fault-plan instantiation per query, with a separate deterministic
+        fault stream per channel name.  ``router`` names the
+        :data:`ROUTER_POLICIES` entry replicated shards route through
+        (``None`` -> healthy-first); ``replica_health`` maps replica names
+        to ``"down"`` / ``"probe"`` breaker verdicts applied to the routers
+        at connect time.
         """
         config = config or NetworkConfig()
         sharded = isinstance(server_r, ShardedSpatialServer) or isinstance(
@@ -1161,13 +1643,19 @@ class ServerPair:
         def _connect_one(server, tariff: float):
             if isinstance(server, ShardedSpatialServer):
                 chans = [
-                    Channel(config, tariff=tariff, name=shard.name)
-                    for shard in server.shards
+                    Channel(config, tariff=tariff, name=replica.name)
+                    for group in server.replica_groups
+                    for replica in group
                 ]
                 if resilience is not None:
                     for chan in chans:
                         resilience.register(chan)
-                return ShardedRemoteServer(server, chans, resilience=resilience)
+                proxy = ShardedRemoteServer(
+                    server, chans, resilience=resilience, router=router
+                )
+                if replica_health:
+                    proxy.apply_replica_health(replica_health)
+                return proxy
             chan = Channel(config, tariff=tariff, name=server.name)
             if resilience is not None:
                 resilience.register(chan)

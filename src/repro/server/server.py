@@ -128,6 +128,26 @@ class SpatialServer(SpatialServerInterface):
         view._oids_sorted = self._oids_sorted
         return view
 
+    def replica_view(self, name: str) -> "SpatialServer":
+        """A *replica* of this server: shared build, independent identity.
+
+        Like :meth:`shared_view`, the dataset, index and oid lookup tables
+        are shared by reference -- replicas publish one immutable shard
+        dataset build.  Unlike a view, a replica gets its own ``name``, a
+        *fresh* ``server_uid`` (and therefore its own ``breaker_token``)
+        and private statistics: replicas fail, breaker-trip and meter
+        independently even though they serve identical answers.
+        """
+        replica = SpatialServer.__new__(SpatialServer)
+        replica.dataset = self.dataset
+        replica.name = name
+        replica.server_uid = next(_SERVER_UIDS)
+        replica.stats = ServerQueryStats()
+        replica._index = self._index
+        replica._row_order = self._row_order
+        replica._oids_sorted = self._oids_sorted
+        return replica
+
     @property
     def breaker_token(self) -> Tuple[str, int]:
         """Stable identity for circuit-breaker bookkeeping.
@@ -141,6 +161,16 @@ class SpatialServer(SpatialServerInterface):
     def breaker_units(self) -> Tuple["SpatialServer", ...]:
         """The independently-breakable servers behind this one (itself)."""
         return (self,)
+
+    def breaker_groups(self) -> Tuple[Tuple["SpatialServer", ...], ...]:
+        """Breaker units grouped by failover domain.
+
+        A plain server is its own (only) replica: one group of one unit.
+        Replicated fleets override this so the broker can distinguish "one
+        replica cooling" (route around it) from "every replica of a shard
+        cooling" (shed the query).
+        """
+        return ((self,),)
 
     def evaluate_count_batch(self, windows: Sequence[Rect]) -> List[int]:
         """Answer COUNTs without touching query statistics.

@@ -18,6 +18,14 @@ the unit the query broker caches, primes, places and reuses:
 
 Shard servers are named ``"<name>#<i>"``; those names key the per-shard
 channels, ledgers and deterministic fault substreams.
+
+With a replication factor R > 1 each shard is published on R *replica*
+servers named ``"<name>#<i>/<j>"`` (``j`` in ``0..R-1``).  Replicas share
+one immutable shard dataset build (:meth:`SpatialServer.replica_view`) but
+each has its own ``breaker_token``, its own metered channel and its own
+deterministic fault substream, so they fail and recover independently --
+the client fails a scattered exchange over to a sibling replica instead of
+failing the query.
 """
 
 from __future__ import annotations
@@ -85,6 +93,11 @@ class ShardedSpatialServer:
         Partitioning scheme, see :data:`~repro.datasets.partition.PARTITION_SCHEMES`.
     index_fanout:
         Fanout of each shard's aggregate R-tree.
+    replicas:
+        Replication factor R (>= 1).  With R == 1 the fleet is exactly the
+        PR 8 sharded plane (shard servers named ``"<name>#<i>"``); with
+        R > 1 each shard ``i`` is published on R replicas named
+        ``"<name>#<i>/<j>"`` sharing one index build.
     """
 
     def __init__(
@@ -94,16 +107,41 @@ class ShardedSpatialServer:
         shards: int = 2,
         scheme: str = "grid",
         index_fanout: int = 16,
+        replicas: int = 1,
     ) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
         self.dataset = dataset.rename(name)
         self.name = name
         self.scheme = scheme
+        self.replicas = replicas
         parts = partition_dataset(self.dataset, shards, scheme)
-        self.shards: Tuple[SpatialServer, ...] = tuple(
-            SpatialServer(part, name=part.name, index_fanout=index_fanout)
-            for part in parts
+        groups: List[Tuple[SpatialServer, ...]] = []
+        for part in parts:
+            # The primary replica keeps the bare shard name at R == 1 so an
+            # unreplicated fleet stays bit-identical to the PR 8 plane
+            # (channel names key ledgers and fault substreams).
+            primary_name = part.name if replicas == 1 else f"{part.name}/0"
+            primary = SpatialServer(
+                part, name=primary_name, index_fanout=index_fanout
+            )
+            group = [primary]
+            for j in range(1, replicas):
+                group.append(primary.replica_view(f"{part.name}/{j}"))
+            groups.append(tuple(group))
+        self.replica_groups: Tuple[Tuple[SpatialServer, ...], ...] = tuple(
+            groups
         )
-        self.stats = FleetStats(self.shards)
+        self.shard_names: Tuple[str, ...] = tuple(part.name for part in parts)
+        # ``shards`` stays the per-shard primaries: bounds routing, count
+        # evaluation and snapshot priming all run against the shared builds,
+        # which the primaries own.
+        self.shards: Tuple[SpatialServer, ...] = tuple(
+            group[0] for group in self.replica_groups
+        )
+        self.stats = FleetStats(
+            tuple(rep for group in self.replica_groups for rep in group)
+        )
 
     def __len__(self) -> int:
         return len(self.dataset)
@@ -120,13 +158,30 @@ class ShardedSpatialServer:
         view.dataset = self.dataset
         view.name = self.name
         view.scheme = self.scheme
-        view.shards = tuple(shard.shared_view() for shard in self.shards)
-        view.stats = FleetStats(view.shards)
+        view.replicas = self.replicas
+        view.replica_groups = tuple(
+            tuple(rep.shared_view() for rep in group)
+            for group in self.replica_groups
+        )
+        view.shard_names = self.shard_names
+        view.shards = tuple(group[0] for group in view.replica_groups)
+        view.stats = FleetStats(
+            tuple(rep for group in view.replica_groups for rep in group)
+        )
         return view
 
     def breaker_units(self) -> Tuple[SpatialServer, ...]:
-        """The independently-breakable servers behind this build: the shards."""
-        return self.shards
+        """The independently-breakable servers: every replica of every shard."""
+        return tuple(rep for group in self.replica_groups for rep in group)
+
+    def breaker_groups(self) -> Tuple[Tuple[SpatialServer, ...], ...]:
+        """Breaker units grouped by failover domain (one group per shard).
+
+        The broker routes around a cooling replica as long as a sibling in
+        its group is available, and sheds the query only when the whole
+        group is open.
+        """
+        return self.replica_groups
 
     def evaluate_count_batch(self, windows: Sequence[Rect]) -> List[int]:
         """Answer COUNTs for the wave driver, statistics untouched.
@@ -151,5 +206,5 @@ class ShardedSpatialServer:
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         return (
             f"ShardedSpatialServer(name={self.name!r}, shards={len(self.shards)}, "
-            f"scheme={self.scheme!r}, n={len(self)})"
+            f"scheme={self.scheme!r}, replicas={self.replicas}, n={len(self)})"
         )

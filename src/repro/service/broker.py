@@ -139,6 +139,11 @@ class _Admitted:
     fingerprints: Optional[Tuple[Tuple, Tuple]] = None
     #: The typed error that isolated this query from its wave, if any.
     failure: Optional[BaseException] = None
+    #: Breaker verdicts for individual replicas (``name -> "down"/"probe"``),
+    #: computed at admission and pushed into the replica routers so a
+    #: cooling replica is routed around and a half-open one receives the
+    #: probe traffic.
+    replica_health: Optional[Dict[str, str]] = None
 
 
 @dataclass
@@ -189,10 +194,12 @@ class QueryBroker:
         scheduling is deterministic.
     cache:
         Result-cache toggle, or a pre-built :class:`ResultCache` to share
-        between brokers.  Broker-built caches are bounded (FIFO, 4096
-        results); pass your own ``ResultCache(max_entries=None)`` for an
-        unbounded one.  :meth:`clear_caches` releases both the result
-        cache and the server builds of a long-lived broker.
+        between brokers.  Broker-built caches are bounded (LRU, 4096
+        entries); pass your own ``ResultCache(max_entries=None)`` for an
+        unbounded one, or set ``max_bytes`` on it for a size-aware payload
+        budget on top of the entry bound.  :meth:`clear_caches` releases
+        both the result cache and the server builds of a long-lived
+        broker.
     selector:
         The calibrated cost-model front-end; a fresh one (factors at 1.0)
         is built from ``config`` by default.
@@ -323,11 +330,11 @@ class QueryBroker:
         # explain() -> select_algorithm() rejects unknown algorithm names.
         plan = self.explain(query)
         if plan.algorithm == "semijoin" and (
-            query.shards_r > 1 or query.shards_s > 1
+            query.shards_r > 1 or query.shards_s > 1 or query.replicas > 1
         ):
             raise ValueError(
-                "semijoin needs index-published servers; sharded fleets do "
-                "not publish a single R-tree"
+                "semijoin needs index-published servers; sharded or "
+                "replicated fleets do not publish a single R-tree"
             )
         key = query_key(query, plan.algorithm, self.config)
         with self._lock:
@@ -490,6 +497,7 @@ class QueryBroker:
             query.shards_r,
             query.shards_s,
             query.shard_scheme,
+            query.replicas,
         )
         with self._lock:
             pair = self._servers.get(key)
@@ -502,14 +510,20 @@ class QueryBroker:
         return pair
 
     def _build_base(self, dataset, name: str, shards: int, query: JoinQuery):
-        """Build (and place) one side: a single server or a shard fleet."""
-        if shards > 1:
+        """Build (and place) one side: a single server or a (replicated) fleet.
+
+        Replication rides on the fleet build even at ``shards == 1``: a
+        single-shard fleet with R replicas is still a fleet, with replica
+        channels, breaker units and failover routing.
+        """
+        if shards > 1 or query.replicas > 1:
             return ShardedSpatialServer(
                 dataset,
                 name=name,
                 shards=shards,
                 scheme=query.shard_scheme,
                 index_fanout=self.index_fanout,
+                replicas=query.replicas,
             )
         return SpatialServer(
             dataset.rename(name), name=name, index_fanout=self.index_fanout
@@ -552,6 +566,8 @@ class QueryBroker:
             config=query.config or self.config,
             indexed=algorithm == "semijoin",
             resilience=resilience,
+            router=query.router,
+            replica_health=entry.replica_health,
         )
         entry.device = MobileDevice(pair, buffer_size=query.buffer_size)
         kwargs: Dict[str, object] = {}
@@ -595,34 +611,83 @@ class QueryBroker:
         An open breaker past its cooldown flips to half-open: the query
         is let through as the probe, with the failure count primed one
         short of the threshold so a single failed probe re-opens it.
+
+        Breaker units are walked per failover domain
+        (:meth:`~repro.server.server.SpatialServer.breaker_groups`): a
+        single-unit group (plain server, unreplicated shard) keeps the
+        shed/half-open semantics above; a replica group sheds only when
+        *every* replica of the shard is open and still cooling.  A cooling
+        replica with an available sibling is marked ``"down"`` (routed
+        around, tried last-resort only) and a half-open replica is marked
+        ``"probe"`` (preferred, so the probe traffic reaches the
+        recovering server); the marks land in ``entry.replica_health`` and
+        are applied to the replica routers at connect time.
         """
         base_r, base_s = self._base_servers(entry.query)
         entry.base_r, entry.base_s = base_r, base_s
+        health: Dict[str, str] = {}
         for base in (base_r, base_s):
-            for unit in base.breaker_units():
-                breaker = self._breakers.get(unit.breaker_token)
-                if breaker is None or breaker.open_until_wave is None:
+            for group in base.breaker_groups():
+                cooling = []
+                half_open = []
+                for unit in group:
+                    breaker = self._breakers.get(unit.breaker_token)
+                    if breaker is None or breaker.open_until_wave is None:
+                        continue
+                    if self._wave_counter < breaker.open_until_wave:
+                        cooling.append((unit, breaker))
+                    else:
+                        half_open.append((unit, breaker))
+                if len(group) == 1:
+                    # Plain server / unreplicated shard: no sibling to
+                    # fail over to, so one open unit sheds the query.
+                    if cooling:
+                        unit, breaker = cooling[0]
+                        self.stats.bump(breaker_rejections=1)
+                        raise ServerUnavailable(
+                            f"circuit breaker open for server {unit.name!r} "
+                            f"(until wave {breaker.open_until_wave}, "
+                            f"now {self._wave_counter})",
+                            server=unit.name,
+                            kind="breaker",
+                            recoverable=False,
+                        )
+                    for unit, breaker in half_open:
+                        # Half-open: probe with this query.
+                        breaker.open_until_wave = None
+                        breaker.failures = self.breaker_threshold - 1
                     continue
-                if self._wave_counter < breaker.open_until_wave:
+                # Replica group: shed only when the whole shard is dark.
+                if len(cooling) == len(group):
+                    shard_name = group[0].name.rsplit("/", 1)[0]
+                    until = max(b.open_until_wave for _, b in cooling)
                     self.stats.bump(breaker_rejections=1)
                     raise ServerUnavailable(
-                        f"circuit breaker open for server {unit.name!r} "
-                        f"(until wave {breaker.open_until_wave}, "
+                        f"circuit breakers open for every replica of shard "
+                        f"{shard_name!r} (until wave {until}, "
                         f"now {self._wave_counter})",
-                        server=unit.name,
+                        server=shard_name,
                         kind="breaker",
                         recoverable=False,
                     )
-                # Half-open: probe with this query.
-                breaker.open_until_wave = None
-                breaker.failures = self.breaker_threshold - 1
+                for unit, breaker in half_open:
+                    # Half-open: flip, and steer the probe to this replica.
+                    breaker.open_until_wave = None
+                    breaker.failures = self.breaker_threshold - 1
+                    health[unit.name] = "probe"
+                for unit, _breaker in cooling:
+                    health[unit.name] = "down"
+        entry.replica_health = health or None
 
     def _unit_for_server_name(self, entry: _Admitted, server_name: Optional[str]):
         """The breaker unit behind one failing channel name.
 
-        Channel names are either a side's logical name (``"R"``/``"S"``)
-        or a shard name (``"R#2"``); the side prefix picks the base build
-        and the exact name picks the unit (a shard, or the base itself).
+        Channel names are a side's logical name (``"R"``/``"S"``), a shard
+        name (``"R#2"``) or a replica name (``"R#2/1"``); the side prefix
+        picks the base build and the exact name picks the unit (a shard, a
+        replica, or the base itself).  A *shard*-level failure of a
+        replicated fleet (every replica lost) matches no unit by design:
+        the per-replica charges already landed via the failover events.
         """
         if server_name is None:
             return None
@@ -660,12 +725,60 @@ class QueryBroker:
                 self._wave_counter + 1 + self.breaker_cooldown_waves
             )
 
-    def _note_entry_success(self, entry: _Admitted) -> None:
-        """A completed query closes the breakers of all its servers' units."""
+    def _note_replica_faults(self, entry: _Admitted) -> set:
+        """Charge per-replica breakers for this query's mid-query failovers.
+
+        A replicated shard absorbs replica loss without failing the query,
+        so the failure signal never reaches :meth:`_note_entry_failure`;
+        it lives in the connections' failover events instead.  Each replica
+        that lost an exchange to an unavailability verdict is charged one
+        breaker failure per query (mirroring the one-failure-per-query
+        accounting of unreplicated servers).  Returns the charged replica
+        names so a successful (failed-over) query does not immediately
+        reset them in :meth:`_note_entry_success`.
+        """
+        faulted: set = set()
+        if entry.device is None:
+            return faulted
+        for side in (entry.device.servers.r, entry.device.servers.s):
+            events = getattr(side, "failover_events", None)
+            if events is None:
+                continue
+            for _shard, replica, _label, kind in (
+                events() if callable(events) else tuple(events)
+            ):
+                if kind != "unavailable" or replica in faulted:
+                    continue
+                faulted.add(replica)
+                unit = self._unit_for_server_name(entry, replica)
+                if unit is None:
+                    continue
+                token = unit.breaker_token
+                breaker = self._breakers.get(token)
+                if breaker is None:
+                    breaker = self._breakers[token] = _Breaker(unit)
+                breaker.failures += 1
+                if breaker.failures >= self.breaker_threshold:
+                    breaker.open_until_wave = (
+                        self._wave_counter + 1 + self.breaker_cooldown_waves
+                    )
+        return faulted
+
+    def _note_entry_success(
+        self, entry: _Admitted, faulted: frozenset = frozenset()
+    ) -> None:
+        """A completed query closes the breakers of all its servers' units.
+
+        ``faulted`` names the replicas this very query failed over away
+        from: the query's success says nothing about *them*, so their
+        breaker counts survive.
+        """
         for base in (entry.base_r, entry.base_s):
             if base is None:
                 continue
             for unit in base.breaker_units():
+                if unit.name in faulted:
+                    continue
                 breaker = self._breakers.get(unit.breaker_token)
                 if breaker is not None and breaker.open_until_wave is None:
                     breaker.failures = 0
@@ -773,13 +886,18 @@ class QueryBroker:
             # queries whose stack got built: the primary lane must hold
             # no trace of the failure), then release the per-query
             # execution state (results are kept).
+            faulted: set = set()
             if entry.device is not None:
                 entry.fingerprints = (
                     entry.device.servers.r.ledger_fingerprint(),
                     entry.device.servers.s.ledger_fingerprint(),
                 )
+                # Replica losses absorbed by failover still charge the
+                # losing replicas' breakers (read off the connections
+                # before the device is released).
+                faulted = self._note_replica_faults(entry)
             if entry.failure is None:
-                self._note_entry_success(entry)
+                self._note_entry_success(entry, frozenset(faulted))
             entry.gen = None
             entry.device = None
 

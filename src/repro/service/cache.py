@@ -38,7 +38,7 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -53,6 +53,7 @@ __all__ = [
     "dataset_token",
     "freeze_result",
     "query_key",
+    "result_weight",
 ]
 
 
@@ -208,6 +209,11 @@ def query_key(query: JoinQuery, algorithm: str, default_config) -> Tuple:
         query.shards_r,
         query.shards_s,
         query.shard_scheme,
+        # Replication changes the per-replica ledger detail and failure
+        # behaviour (never the pairs or primary totals); the router policy
+        # decides which replicas serve, so both key the entry.
+        query.replicas,
+        query.router,
     )
 
 
@@ -216,26 +222,58 @@ def query_key(query: JoinQuery, algorithm: str, default_config) -> Tuple:
 # --------------------------------------------------------------------------- #
 
 
+def result_weight(result: JoinResult) -> int:
+    """Deterministic byte-weight estimate of one stored result payload.
+
+    The simulation has no serialized result form, so the byte budget is
+    charged against a stable structural estimate: a fixed per-entry
+    overhead plus the dominant variable-size payloads (join pairs, shipped
+    result objects, trace events).  The exact constants matter less than
+    determinism -- the same result always weighs the same, so eviction
+    order is reproducible.
+    """
+    pairs = len(result.pairs) if result.pairs is not None else 0
+    objects = len(result.objects) if result.objects is not None else 0
+    trace = len(result.trace) if result.trace is not None else 0
+    return 256 + 16 * pairs + 48 * objects + 64 * trace
+
+
 class ResultCache:
     """A keyed LRU store of finished join results with hit/miss accounting.
 
     ``max_entries`` bounds the store for long-lived brokers: when full, the
     least-recently-*used* entry is evicted (a hit refreshes recency, so a
-    hot result outlives any number of one-shot queries).  ``None`` means
-    unbounded.  All operations and counters are lock-guarded, so one cache
-    can back the pooled wave executor and concurrent service submitters.
+    hot result outlives any number of one-shot queries).  ``max_bytes``
+    adds a size-aware budget over the stored result payloads (weighed by
+    :func:`result_weight`): after an insert, least-recently-used entries
+    are dropped until the store fits, always keeping the entry just
+    inserted (a single oversized result is cached alone rather than
+    rejected).  ``None`` means unbounded on either axis; both bounds may be
+    active at once.  All operations and counters are lock-guarded, so one
+    cache can back the pooled wave executor and concurrent service
+    submitters.
     """
 
-    def __init__(self, enabled: bool = True, max_entries: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        enabled: bool = True,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be >= 1 (or None for unbounded)")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1 (or None for unbounded)")
         self.enabled = enabled
         self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.bytes_stored = 0
         self._lock = threading.Lock()
         self._entries: "OrderedDict[Tuple, JoinResult]" = OrderedDict()
+        self._weights: Dict[Tuple, int] = {}
 
     def __len__(self) -> int:
         with self._lock:
@@ -265,21 +303,37 @@ class ResultCache:
         if not self.enabled:
             return result
         frozen = freeze_result(result)
+        weight = result_weight(frozen)
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
+                self.bytes_stored -= self._weights[key]
             elif (
                 self.max_entries is not None
                 and len(self._entries) >= self.max_entries
             ):
-                self._entries.popitem(last=False)
-                self.evictions += 1
+                self._evict_oldest()
             self._entries[key] = frozen
+            self._weights[key] = weight
+            self.bytes_stored += weight
+            if self.max_bytes is not None:
+                # Size-aware pass: shed LRU entries until the byte budget
+                # holds, but never the entry just inserted.
+                while self.bytes_stored > self.max_bytes and len(self._entries) > 1:
+                    self._evict_oldest()
         return frozen
+
+    def _evict_oldest(self) -> None:
+        """Drop the least-recently-used entry (lock held by caller)."""
+        old_key, _ = self._entries.popitem(last=False)
+        self.bytes_stored -= self._weights.pop(old_key)
+        self.evictions += 1
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._weights.clear()
             self.hits = 0
             self.misses = 0
             self.evictions = 0
+            self.bytes_stored = 0

@@ -73,7 +73,9 @@ def audit_ledger_isolation(devices: Sequence) -> None:
         }
         # Every channel and every per-server statistics object behind a
         # connection -- one each for a plain server, one per shard for a
-        # fleet -- must be private to its query.
+        # fleet, one per *replica* for a replicated fleet (``channels`` /
+        # ``stat_objects`` flatten replica state) -- must be private to
+        # its query.
         for side, server in (("R", device.servers.r), ("S", device.servers.s)):
             for i, channel in enumerate(server.channels):
                 components[f"channel {side}[{i}]"] = channel

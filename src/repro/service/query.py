@@ -87,6 +87,14 @@ class JoinQuery:
         per-shard channels, ledgers, breakers and fault substreams; join
         pairs stay bit-identical to the unsharded run.  SemiJoin queries
         must stay unsharded.
+    replicas, router:
+        Replication factor per shard and replica-routing policy name.  A
+        factor > 1 publishes every shard on R replica servers sharing one
+        index build (per-replica channels, breakers and fault substreams);
+        the connection fails a lost exchange over to a sibling replica
+        mid-query.  ``router`` is a
+        :data:`~repro.server.remote.ROUTER_POLICIES` name (``None`` ->
+        healthy-first).  SemiJoin queries must stay unreplicated.
     """
 
     dataset_r: SpatialDataset
@@ -107,12 +115,16 @@ class JoinQuery:
     shards_r: int = 1
     shards_s: int = 1
     shard_scheme: str = "grid"
+    replicas: int = 1
+    router: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.buffer_size <= 0:
             raise ValueError("buffer_size must be positive")
         if self.shards_r < 1 or self.shards_s < 1:
             raise ValueError("shard counts must be >= 1")
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
         from repro.datasets.partition import PARTITION_SCHEMES
 
         if self.shard_scheme not in PARTITION_SCHEMES:
@@ -120,6 +132,14 @@ class JoinQuery:
                 f"unknown partition scheme {self.shard_scheme!r}; "
                 f"available: {PARTITION_SCHEMES}"
             )
+        if self.router is not None:
+            from repro.server.remote import ROUTER_POLICIES
+
+            if self.router not in ROUTER_POLICIES:
+                raise ValueError(
+                    f"unknown replica router policy {self.router!r}; "
+                    f"known: {sorted(ROUTER_POLICIES)}"
+                )
 
     def resolved_window(self) -> Rect:
         """The joined region (defaults to the union MBR of both datasets).
