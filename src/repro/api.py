@@ -39,19 +39,22 @@ from repro.geometry.rect import Rect
 from repro.network.config import NetworkConfig
 from repro.network.faults import FaultPlan, RetryPolicy
 from repro.datasets.partition import PARTITION_SCHEMES, partition_dataset
+from repro.obs import MetricsRegistry, Tracer
 from repro.server.remote import ROUTER_POLICIES
 from repro.server.server import SpatialServer
 from repro.server.sharded import ShardedSpatialServer
-from repro.service.broker import QueryBroker
+from repro.service.broker import DEFAULT_CACHE_MAX_BYTES, QueryBroker
 from repro.service.executor import QueryService
 from repro.service.query import JoinQuery, QueryOutcome
 
 __all__ = [
     "AdHocJoinSession",
     "ChannelFault",
+    "DEFAULT_CACHE_MAX_BYTES",
     "FaultPlan",
     "JoinOutcome",
     "JoinQuery",
+    "MetricsRegistry",
     "PARTITION_SCHEMES",
     "QueryBroker",
     "QueryOutcome",
@@ -64,11 +67,16 @@ __all__ = [
     "ROUTER_POLICIES",
     "ServiceClosed",
     "ShardedSpatialServer",
+    "Tracer",
     "available_algorithms",
     "batch_join",
     "partition_dataset",
     "quick_join",
 ]
+
+#: Sentinel distinguishing "argument not given" from an explicit ``None``
+#: (``cache_max_bytes=None`` legitimately means *unbounded*).
+_UNSET = object()
 
 #: Public alias: the outcome type returned by every join execution.
 JoinOutcome = JoinResult
@@ -101,6 +109,8 @@ def quick_join(
     shard_scheme: str = "grid",
     replicas: int = 1,
     router: Optional[str] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> JoinResult:
     """Run one ad-hoc distributed spatial join end to end.
 
@@ -158,6 +168,12 @@ def quick_join(
         fault-free run under any recoverable plan.  ``router`` names a
         :data:`~repro.server.remote.ROUTER_POLICIES` entry (``None`` ->
         healthy-first).  SemiJoin requires unreplicated servers.
+    tracer, metrics:
+        Optional observability hooks (see :mod:`repro.obs`): a
+        :class:`Tracer` records a deterministic span tree of the run, a
+        :class:`MetricsRegistry` collects channel-traffic and resilience
+        counters.  Strictly read-only -- the result is bit-identical with
+        or without them.
 
     Returns
     -------
@@ -179,6 +195,8 @@ def quick_join(
         shard_scheme=shard_scheme,
         replicas=replicas,
         router=router,
+        tracer=tracer,
+        metrics=metrics,
     )
     return session.run(
         algorithm=algorithm,
@@ -199,6 +217,9 @@ def batch_join(
     max_wave: Optional[int] = None,
     workers: Optional[int] = None,
     broker: Optional[QueryBroker] = None,
+    cache_max_bytes: object = _UNSET,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> List[QueryOutcome]:
     """Serve a batch of join queries through one query broker.
 
@@ -212,17 +233,30 @@ def batch_join(
     :func:`quick_join` / :func:`~repro.core.planner.run_join`, under any
     worker count.
 
+    ``cache_max_bytes`` bounds the broker's result cache (default
+    :data:`DEFAULT_CACHE_MAX_BYTES`; ``None`` means unbounded), and
+    ``tracer``/``metrics`` attach the read-only observability hooks (see
+    :mod:`repro.obs`) -- outcomes stay bit-identical with or without them.
+
     Pass a ``broker`` to reuse its server builds, result cache and
     calibration state across several batches.  A passed broker carries its
     own configuration, so combining it with ``config``/``max_wave``/
-    ``workers`` is an error rather than a silent override.  For
-    continuous (non-batch) admission use :class:`repro.api.QueryService`.
+    ``workers``/``cache_max_bytes``/``tracer``/``metrics`` is an error
+    rather than a silent override.  For continuous (non-batch) admission
+    use :class:`repro.api.QueryService`.
     """
     if broker is not None:
-        if config is not None or max_wave is not None or workers is not None:
+        if (
+            config is not None
+            or max_wave is not None
+            or workers is not None
+            or cache_max_bytes is not _UNSET
+            or tracer is not None
+            or metrics is not None
+        ):
             raise ValueError(
-                "pass either a pre-built broker or config/max_wave/workers, "
-                "not both"
+                "pass either a pre-built broker or config/max_wave/workers/"
+                "cache_max_bytes/tracer/metrics, not both"
             )
         return broker.run_batch(queries)
     kwargs = {}
@@ -230,6 +264,12 @@ def batch_join(
         kwargs["max_wave"] = max_wave
     if workers is not None:
         kwargs["workers"] = workers
+    if cache_max_bytes is not _UNSET:
+        kwargs["cache_max_bytes"] = cache_max_bytes
+    if tracer is not None:
+        kwargs["tracer"] = tracer
+    if metrics is not None:
+        kwargs["metrics"] = metrics
     return QueryBroker(config=config, **kwargs).run_batch(queries)
 
 
@@ -258,6 +298,8 @@ class AdHocJoinSession:
         shard_scheme: str = "grid",
         replicas: int = 1,
         router: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         """``servers`` accepts a pre-built ``(server_r, server_s)`` pair.
 
@@ -277,6 +319,9 @@ class AdHocJoinSession:
         partitioned shard fleet, and ``replicas``/``router`` publish each
         shard on R failover replicas (see :func:`quick_join`); both are
         ignored when ``servers`` injects pre-built instances.
+
+        ``tracer``/``metrics`` attach the read-only observability hooks
+        (see :mod:`repro.obs`) for every run on this session.
         """
         self.dataset_r = dataset_r
         self.dataset_s = dataset_s
@@ -298,6 +343,8 @@ class AdHocJoinSession:
             shard_scheme=shard_scheme,
             replicas=replicas,
             router=router,
+            tracer=tracer,
+            metrics=metrics,
         )
         self._history: List[JoinResult] = []
 

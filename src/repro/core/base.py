@@ -95,6 +95,12 @@ class MobileJoinAlgorithm(ABC):
         self._pairs: Set[Tuple[int, int]] = set()
         self._trace: List[TraceEvent] = []
         self._rng = np.random.default_rng(self.params.seed)
+        # Observability state: the run's "join" span (None while the
+        # device's tracer is the no-op default) plus deterministic sibling
+        # counters for round / leaf-batch spans.
+        self._obs_span = None
+        self._obs_round = 0
+        self._obs_leaf_batch = 0
 
     # ------------------------------------------------------------------ #
     # public entry point
@@ -104,15 +110,46 @@ class MobileJoinAlgorithm(ABC):
         """Execute the join over ``window`` and assemble the result."""
         self._pairs.clear()
         self._trace.clear()
-        # The root counts go through the batch helper (size 1) so the
-        # exchange sequence -- bytes *and* fault-stream labels -- matches
-        # the broker's cooperative driver, which answers the root round
-        # through the batched prefetch accounting.
-        count_r = self.count_windows("R", [window])[0]
-        count_s = self.count_windows("S", [window])[0]
-        self.record(0, window, "start", f"{self.name}", count_r, count_s)
-        self._execute(window, count_r, count_s, depth=0)
-        return self._assemble(window)
+        span = self._obs_open(window)
+        try:
+            # The root counts go through the batch helper (size 1) so the
+            # exchange sequence -- bytes *and* fault-stream labels -- matches
+            # the broker's cooperative driver, which answers the root round
+            # through the batched prefetch accounting.
+            count_r = self.count_windows("R", [window])[0]
+            count_s = self.count_windows("S", [window])[0]
+            self.record(0, window, "start", f"{self.name}", count_r, count_s)
+            self._execute(window, count_r, count_s, depth=0)
+            return self._assemble(window)
+        finally:
+            if span is not None:
+                span.close(sim=self.device.sim_now())
+
+    def _obs_open(self, window: Rect):
+        """Open the run's "join" span (None when the tracer is off).
+
+        Also points the resilience controller's event hook at the new span
+        so retries/faults/failovers land on the owning query's subtree.
+        """
+        self._obs_span = None
+        self._obs_round = 0
+        self._obs_leaf_batch = 0
+        device = self.device
+        tracer = device.tracer
+        if not tracer.enabled:
+            return None
+        span = tracer.span(
+            "join",
+            parent=device.trace_root,
+            sim=device.sim_now(),
+            algorithm=self.name,
+            window=repr(window),
+        )
+        self._obs_span = span
+        res = device.resilience
+        if res is not None:
+            res.trace_span = span
+        return span
 
     def run_cooperative(self, window: Rect):
         """Generator form of :meth:`run` for the query broker's wave driver.
@@ -331,6 +368,12 @@ class MobileJoinAlgorithm(ABC):
     # ------------------------------------------------------------------ #
 
     def _assemble(self, window: Rect) -> JoinResult:
+        span = self._obs_span
+        merge_span = None
+        if span is not None:
+            merge_span = span.child(
+                "merge", sim=self.device.sim_now(), candidates=len(self._pairs)
+            )
         answer = self.spec.finalise(self._pairs)
         servers = self.device.servers
         result = JoinResult(
@@ -360,4 +403,12 @@ class MobileJoinAlgorithm(ABC):
                 else None
             ),
         )
+        if merge_span is not None:
+            merge_span.annotate(pairs=len(result.pairs))
+            merge_span.close(sim=self.device.sim_now())
+            span.annotate(
+                pairs=len(result.pairs),
+                total_bytes=result.total_bytes,
+                total_cost=result.total_cost,
+            )
         return result

@@ -303,6 +303,31 @@ class FrontierAlgorithm(MobileJoinAlgorithm):
             except RoundRetry:
                 continue
 
+    def _traced_round(self, batches: Dict[str, List[Rect]]) -> CountRounds:
+        """A :meth:`_resumable_round` wrapped in a "round" span.
+
+        The span opens before the round is offered outward and closes when
+        the answers arrive, so it covers the full exchange -- including any
+        :class:`RoundRetry` replays -- under the simulated clock.  Sibling
+        rounds are distinguished by a per-run counter, keeping span ids
+        deterministic under any wave worker count.
+        """
+        span = self._obs_span
+        if span is None:
+            return (yield from self._resumable_round(batches))
+        round_span = span.child(
+            "round",
+            sim=self.device.sim_now(),
+            round=self._obs_round,
+            servers=",".join(sorted(batches)),
+            windows=sum(len(rects) for rects in batches.values()),
+        )
+        self._obs_round += 1
+        try:
+            return (yield from self._resumable_round(batches))
+        finally:
+            round_span.close(sim=self.device.sim_now())
+
     def _level_rounds(self, runs: List[_Run]) -> CountRounds:
         """Advance every window of the level in lock-step rounds.
 
@@ -321,7 +346,7 @@ class FrontierAlgorithm(MobileJoinAlgorithm):
             for run in pending:
                 for req in run.pending:
                     batches.setdefault(req.server, []).extend(req.rects)
-            answers = yield from self._resumable_round(batches)
+            answers = yield from self._traced_round(batches)
             cursors = {server: 0 for server in batches}
             still_pending: List[_Run] = []
             for run in pending:
@@ -363,18 +388,23 @@ class FrontierAlgorithm(MobileJoinAlgorithm):
             return self.run(window)
         self._pairs.clear()
         self._trace.clear()
-        answers = yield from self._resumable_round(
-            {
-                "R": [self.query_window("R", window)],
-                "S": [self.query_window("S", window)],
-            }
-        )
-        count_r = int(answers["R"][0])
-        count_s = int(answers["S"][0])
-        self.record(0, window, "start", f"{self.name}", count_r, count_s)
-        root = self._root_task(window, count_r, count_s, depth=0)
-        yield from self._frontier_levels([root])
-        return self._assemble(window)
+        span = self._obs_open(window)
+        try:
+            answers = yield from self._traced_round(
+                {
+                    "R": [self.query_window("R", window)],
+                    "S": [self.query_window("S", window)],
+                }
+            )
+            count_r = int(answers["R"][0])
+            count_s = int(answers["S"][0])
+            self.record(0, window, "start", f"{self.name}", count_r, count_s)
+            root = self._root_task(window, count_r, count_s, depth=0)
+            yield from self._frontier_levels([root])
+            return self._assemble(window)
+        finally:
+            if span is not None:
+                span.close(sim=self.device.sim_now())
 
     def _run_leaves_batched(self, leaves: Sequence[OperatorLeaf]) -> None:
         """Execute the level's physical-operator leaves through the batch
@@ -382,6 +412,17 @@ class FrontierAlgorithm(MobileJoinAlgorithm):
         operator kind instead of one device call per window."""
         hbsj_leaves = [leaf for leaf in leaves if leaf.op == "hbsj"]
         nlsj_leaves = [leaf for leaf in leaves if leaf.op == "nlsj"]
+        span = self._obs_span
+        leaves_span = None
+        if span is not None and leaves:
+            leaves_span = span.child(
+                "leaves",
+                sim=self.device.sim_now(),
+                batch=self._obs_leaf_batch,
+                hbsj=len(hbsj_leaves),
+                nlsj=len(nlsj_leaves),
+            )
+            self._obs_leaf_batch += 1
         if hbsj_leaves:
             requests = [
                 HBSJRequest(
@@ -402,3 +443,5 @@ class FrontierAlgorithm(MobileJoinAlgorithm):
                 requests, self.predicate, bucket=self.params.bucket_queries
             ):
                 self._pairs.update(result.pairs)
+        if leaves_span is not None:
+            leaves_span.close(sim=self.device.sim_now())

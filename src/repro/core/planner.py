@@ -133,6 +133,8 @@ def build_session_stack(
     shard_scheme: str = "grid",
     replicas: int = 1,
     router: Optional[str] = None,
+    tracer=None,
+    metrics=None,
 ) -> Tuple[SpatialServer, SpatialServer, MobileDevice]:
     """Build the two servers, the metered connections and the device.
 
@@ -161,6 +163,11 @@ def build_session_stack(
     :class:`~repro.server.remote.ResilienceController` (a seeded
     :class:`~repro.network.faults.FaultPlan`, a retry policy, and a
     simulated-time deadline budget) to both connections.
+
+    ``tracer``/``metrics`` attach the (strictly read-only) observability
+    hooks: a :class:`repro.obs.Tracer` on the device and, when a
+    :class:`repro.obs.MetricsRegistry` is given, a per-channel traffic
+    observer plus fault/retry counters on the resilience controller.
     """
     config = config or NetworkConfig()
     if replicas < 1:
@@ -184,6 +191,13 @@ def build_session_stack(
         resilience = ResilienceController(
             faults=faults, retry=retry, deadline_s=deadline_s
         )
+    observer = None
+    if metrics is not None:
+        from repro.obs.metrics import ChannelMetricsObserver
+
+        observer = ChannelMetricsObserver(metrics)
+        if resilience is not None:
+            resilience.metrics = metrics
     pair = ServerPair.connect(
         server_r,
         server_s,
@@ -191,8 +205,9 @@ def build_session_stack(
         indexed=indexed,
         resilience=resilience,
         router=router,
+        observer=observer,
     )
-    device = MobileDevice(pair, buffer_size=buffer_size)
+    device = MobileDevice(pair, buffer_size=buffer_size, tracer=tracer)
     return server_r, server_s, device
 
 
@@ -254,6 +269,8 @@ def run_join(
     shard_scheme: str = "grid",
     replicas: int = 1,
     router: Optional[str] = None,
+    tracer=None,
+    metrics=None,
     **algorithm_kwargs: object,
 ) -> JoinResult:
     """Build the full stack, run one algorithm, return the measured result.
@@ -284,6 +301,9 @@ def run_join(
         Replication factor per shard (> 1 publishes every shard on R
         replica servers with mid-query failover) and the replica-routing
         policy name (default healthy-first).
+    tracer, metrics:
+        Optional observability hooks (see :mod:`repro.obs`); strictly
+        read-only, the result is bit-identical with or without them.
     """
     indexed = algorithm.lower() == "semijoin"
     _, _, device = build_session_stack(
@@ -301,6 +321,8 @@ def run_join(
         shard_scheme=shard_scheme,
         replicas=replicas,
         router=router,
+        tracer=tracer,
+        metrics=metrics,
     )
     algo = build_algorithm(algorithm, device, spec, params, **algorithm_kwargs)
     if window is None:

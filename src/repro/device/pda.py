@@ -30,6 +30,7 @@ from repro.geometry.predicates import JoinPredicate
 from repro.geometry.rect import Rect
 from repro.network.config import NetworkConfig
 from repro.network.wifi import WifiLinkModel
+from repro.obs.trace import NULL_TRACER
 from repro.server.remote import ServerPair
 
 __all__ = ["MobileDevice", "OperatorCounts"]
@@ -68,6 +69,10 @@ class MobileDevice:
         Buffer capacity in objects (the paper uses 100 and 800 points).
     link:
         Optional 802.11b timing model used for response-time estimates.
+    tracer:
+        Optional :class:`repro.obs.trace.Tracer`; defaults to the no-op
+        tracer, which the algorithms' instrumentation guards treat as
+        "observability off".
     """
 
     def __init__(
@@ -75,11 +80,16 @@ class MobileDevice:
         servers: ServerPair,
         buffer_size: int = 800,
         link: Optional[WifiLinkModel] = None,
+        tracer=None,
     ) -> None:
         self.servers = servers
         self.buffer = DeviceBuffer(capacity=buffer_size)
         self.link = link or WifiLinkModel()
         self.counts = OperatorCounts()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Parent span for the per-run "join" span (the broker points this
+        # at the owning query's span; standalone runs leave it None).
+        self.trace_root = None
 
     # ------------------------------------------------------------------ #
     # metered primitives (thin, counted wrappers)
@@ -93,6 +103,15 @@ class MobileDevice:
     def resilience(self):
         """The session's shared resilience controller (``None`` if plain)."""
         return self.servers.r.resilience
+
+    def sim_now(self) -> float:
+        """Deterministic simulated-clock reading for trace timestamps.
+
+        Runs without a resilience stack have no simulated clock; they
+        stamp 0.0, which is equally deterministic.
+        """
+        res = self.servers.r.resilience
+        return res.elapsed_s if res is not None else 0.0
 
     def count_window(self, server_name: str, window: Rect) -> int:
         """COUNT on one server; counted as an aggregate query."""

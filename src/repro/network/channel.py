@@ -117,6 +117,10 @@ class Channel:
         Server name for reports (conventionally ``"R"`` or ``"S"``).
     log:
         Optional traffic log; a fresh (enabled) log is created by default.
+    observer:
+        Optional read-only traffic observer with an ``on_traffic(server,
+        lane, direction, wire, packets, messages)`` method (see
+        :class:`repro.obs.metrics.ChannelMetricsObserver`).
     """
 
     def __init__(
@@ -125,6 +129,7 @@ class Channel:
         tariff: float = 1.0,
         name: str = "server",
         log: Optional[TrafficLog] = None,
+        observer=None,
     ) -> None:
         if tariff < 0:
             raise ValueError("tariff must be non-negative")
@@ -132,6 +137,9 @@ class Channel:
         self.tariff = tariff
         self.name = name
         self.log = log if log is not None else TrafficLog()
+        # Read-only traffic observer (e.g. ChannelMetricsObserver); called
+        # after the ledgers update, never consulted for accounting.
+        self.observer = observer
         self.uplink_bytes = 0
         self.downlink_bytes = 0
         self.uplink_packets = 0
@@ -382,6 +390,16 @@ class Channel:
                 self.retry_downlink_bytes += wire
                 self.retry_downlink_packets += packets
                 self.retry_messages_down += messages
+        observer = self.observer
+        if observer is not None:
+            observer.on_traffic(
+                self.name,
+                "primary" if self._fault_lane is None else "retry",
+                direction,
+                wire,
+                packets,
+                messages,
+            )
 
     def _account(self, message: Message, direction: str, label: str) -> int:
         log = self._lane_log(direction)

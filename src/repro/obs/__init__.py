@@ -1,0 +1,41 @@
+"""Deterministic observability: span tracing, metrics, and dump tooling.
+
+See :mod:`repro.obs.trace` for the span model, :mod:`repro.obs.metrics`
+for the registry, and ``python -m repro.obs.dump`` for the CLI.
+"""
+
+from repro.obs.metrics import (
+    ChannelMetricsObserver,
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullSpan,
+    NullTracer,
+    Span,
+    Tracer,
+    span_tree,
+    to_chrome_trace,
+    trace_fingerprint,
+)
+
+__all__ = [
+    "ChannelMetricsObserver",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullSpan",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "span_tree",
+    "to_chrome_trace",
+    "trace_fingerprint",
+]

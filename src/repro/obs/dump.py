@@ -1,0 +1,176 @@
+"""Pretty-print observability artifacts: ``python -m repro.obs.dump``.
+
+Accepts any mix of files produced by the observability layer:
+
+* Chrome trace-event JSON (``Tracer.to_chrome()`` written with
+  ``json.dump``) -- rendered as an indented span tree with durations and
+  instant events;
+* metrics snapshots (``MetricsRegistry.snapshot()``) -- rendered as a
+  compact per-metric table.
+
+With ``--demo`` (or no files at all) it runs a small traced join against
+synthetic data and prints both artifacts, which doubles as a smoke test of
+the whole subsystem::
+
+    PYTHONPATH=src python -m repro.obs.dump --demo
+    PYTHONPATH=src python -m repro.obs.dump trace.json metrics.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, TextIO
+
+__all__ = ["main"]
+
+
+def _is_chrome_trace(doc) -> bool:
+    return isinstance(doc, dict) and isinstance(doc.get("traceEvents"), list)
+
+
+def _is_metrics_snapshot(doc) -> bool:
+    return isinstance(doc, dict) and doc and all(
+        isinstance(v, dict) and "series" in v and "type" in v for v in doc.values()
+    )
+
+
+def _arg_text(args: Dict[str, object], skip=("span_id", "parent_id", "index")) -> str:
+    parts = [f"{k}={v}" for k, v in sorted(args.items()) if k not in skip]
+    return " ".join(parts)
+
+
+def print_trace(doc: Dict[str, object], out: TextIO) -> None:
+    spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+    instants = [e for e in doc["traceEvents"] if e.get("ph") == "i"]
+    children: Dict[Optional[str], List[Dict]] = {}
+    events_for: Dict[Optional[str], List[Dict]] = {}
+    for event in spans:
+        parent = event.get("args", {}).get("parent_id")
+        children.setdefault(parent, []).append(event)
+    for event in instants:
+        events_for.setdefault(event.get("args", {}).get("span_id"), []).append(event)
+    for bucket in children.values():
+        bucket.sort(key=lambda e: (e.get("ts", 0), e.get("args", {}).get("span_id", "")))
+    for bucket in events_for.values():
+        bucket.sort(key=lambda e: e.get("args", {}).get("index", 0))
+
+    def walk(event: Dict, depth: int) -> None:
+        args = event.get("args", {})
+        dur_ms = event.get("dur", 0.0) / 1000.0
+        line = "%s%s [%.3f ms]" % ("  " * depth, event.get("name", "?"), dur_ms)
+        extra = _arg_text(args)
+        if extra:
+            line += "  " + extra
+        out.write(line + "\n")
+        for instant in events_for.get(args.get("span_id"), []):
+            out.write(
+                "%s! %s  %s\n"
+                % ("  " * (depth + 1), instant.get("name", "?"), _arg_text(instant.get("args", {})))
+            )
+        for child in children.get(args.get("span_id"), []):
+            walk(child, depth + 1)
+
+    roots = children.get(None, [])
+    out.write("trace: %d spans, %d events\n" % (len(spans), len(instants)))
+    for root in roots:
+        walk(root, 1)
+    orphans = set(children) - {None} - {
+        e.get("args", {}).get("span_id") for e in spans
+    }
+    for parent in sorted(p for p in orphans if p is not None):
+        for event in children[parent]:
+            walk(event, 1)
+
+
+def print_metrics(doc: Dict[str, object], out: TextIO) -> None:
+    out.write("metrics: %d instruments\n" % len(doc))
+    for name in sorted(doc):
+        meta = doc[name]
+        header = "  %s (%s)" % (name, meta.get("type", "untyped"))
+        if meta.get("help"):
+            header += " -- " + str(meta["help"])
+        out.write(header + "\n")
+        for series in meta.get("series", []):
+            labels = series.get("labels", {})
+            label_text = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            if meta.get("type") == "histogram":
+                out.write(
+                    "    {%s} count=%s sum=%s\n"
+                    % (label_text, series.get("count"), series.get("sum"))
+                )
+            else:
+                out.write("    {%s} %s\n" % (label_text, series.get("value")))
+
+
+def _demo(out: TextIO) -> None:
+    from repro.api import quick_join
+    from repro.datasets.synthetic import clustered
+    from repro.obs import MetricsRegistry, Tracer
+
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    dataset_r = clustered(n=80, clusters=3, seed=7)
+    dataset_s = clustered(n=80, clusters=3, seed=8, std=0.05)
+    quick_join(
+        dataset_r,
+        dataset_s,
+        algorithm="srjoin",
+        epsilon=0.1,
+        buffer_size=96,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    print_trace(tracer.to_chrome(), out)
+    out.write("\n")
+    print_metrics(metrics.snapshot(), out)
+    out.write("\nfingerprint: %s\n" % tracer.fingerprint())
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.dump",
+        description="Pretty-print Chrome trace-event JSON and metrics snapshots.",
+    )
+    parser.add_argument("files", nargs="*", help="trace / metrics JSON files")
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="run a small traced join and print its trace and metrics",
+    )
+    args = parser.parse_args(argv)
+    out = sys.stdout
+
+    if args.demo or not args.files:
+        _demo(out)
+        if not args.files:
+            return 0
+
+    status = 0
+    for path in args.files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, ValueError) as error:
+            sys.stderr.write("%s: %s\n" % (path, error))
+            status = 1
+            continue
+        out.write("== %s ==\n" % path)
+        if _is_chrome_trace(doc):
+            print_trace(doc, out)
+        elif _is_metrics_snapshot(doc):
+            print_metrics(doc, out)
+        else:
+            sys.stderr.write(
+                "%s: not a Chrome trace or metrics snapshot\n" % path
+            )
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into head
+        sys.exit(0)

@@ -127,6 +127,14 @@ class ResilienceController:
         self._failover_events: List[Tuple[str, str, str, str]] = []
         self._injectors: Dict[str, FaultInjector] = {}
         self._channels: List[Channel] = []
+        # Observability hooks -- strictly read-only.  ``trace_span`` is the
+        # owning query's span (set by the algorithm at run start); fault,
+        # retry and failover events append there.  ``metrics`` is an
+        # optional MetricsRegistry.  Both stay None by default, and the
+        # healthy no-injector fast path in :meth:`exchange` never touches
+        # them.
+        self.trace_span = None
+        self.metrics = None
 
     # ------------------------------------------------------------------ #
 
@@ -172,6 +180,7 @@ class ResilienceController:
             if kind is FaultKind.STALL:
                 self.stalls += 1
                 account()
+                self._note_fault("stall", channel.name, label)
                 self._advance(event.latency_s, label)
                 return
             if kind is FaultKind.DUPLICATE:
@@ -182,10 +191,12 @@ class ResilienceController:
                 account()
                 with channel.fault_lane("down"):
                     account()
+                self._note_fault("duplicate", channel.name, label)
                 return
             if kind is FaultKind.DISCONNECT:
                 with channel.fault_lane("up"):
                     account()
+                self._note_fault("disconnect", channel.name, label)
                 raise ChannelFault(
                     f"link to server {channel.name!r} lost mid-query "
                     f"(exchange {event.op_index}, {label!r})",
@@ -205,6 +216,7 @@ class ResilienceController:
                 scope = "up"
             with channel.fault_lane(scope):
                 account()
+            self._note_fault(kind.value, channel.name, label)
             failures += 1
             if failures >= self.retry.max_attempts:
                 fault = ChannelFault(
@@ -230,6 +242,7 @@ class ResilienceController:
                     last_fault=fault,
                 )
             self.retries += 1
+            self._note_retry(channel.name, label, failures)
             self._advance(self.retry.backoff_for(failures), label)
 
     def reset(self) -> None:
@@ -251,6 +264,33 @@ class ResilienceController:
         self._failover_events.clear()
         self._injectors.clear()
 
+    def _note_fault(self, kind: str, server: str, label: str) -> None:
+        """Emit one fault event to the observability hooks (if attached).
+
+        Only the fault branches of :meth:`exchange` call this, so healthy
+        exchanges -- the hot path -- never pay for the checks.
+        """
+        span = self.trace_span
+        if span is not None:
+            span.event("fault", sim=self.elapsed_s, kind=kind, server=server, label=label)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_faults_total",
+                "Fault events drawn on the metered channels, by kind and server",
+            ).inc(kind=kind, server=server)
+
+    def _note_retry(self, server: str, label: str, attempt: int) -> None:
+        span = self.trace_span
+        if span is not None:
+            span.event(
+                "retry", sim=self.elapsed_s, server=server, label=label, attempt=attempt
+            )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_retries_total",
+                "Exchange retries after recoverable faults, by server",
+            ).inc(server=server)
+
     def _advance(self, seconds: float, label: str) -> None:
         """Advance the simulated clock, enforcing the deadline budget."""
         self.elapsed_s += seconds
@@ -270,6 +310,21 @@ class ResilienceController:
         """
         self.failovers += 1
         self._failover_events.append((shard, replica, label, kind))
+        span = self.trace_span
+        if span is not None:
+            span.event(
+                "failover",
+                sim=self.elapsed_s,
+                shard=shard,
+                replica=replica,
+                label=label,
+                kind=kind,
+            )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_failovers_total",
+                "Mid-query failovers between replicas, by shard and replica",
+            ).inc(shard=shard, replica=replica)
 
     # ------------------------------------------------------------------ #
 
@@ -1614,6 +1669,7 @@ class ServerPair:
         resilience: Optional[ResilienceController] = None,
         router: Optional[str] = None,
         replica_health: Optional[Dict[str, str]] = None,
+        observer=None,
     ) -> "ServerPair":
         """Create metered connections to two servers with a shared config.
 
@@ -1627,7 +1683,8 @@ class ServerPair:
         :data:`ROUTER_POLICIES` entry replicated shards route through
         (``None`` -> healthy-first); ``replica_health`` maps replica names
         to ``"down"`` / ``"probe"`` breaker verdicts applied to the routers
-        at connect time.
+        at connect time.  ``observer`` is a read-only traffic observer
+        threaded into every channel (see :class:`Channel`).
         """
         config = config or NetworkConfig()
         sharded = isinstance(server_r, ShardedSpatialServer) or isinstance(
@@ -1643,7 +1700,7 @@ class ServerPair:
         def _connect_one(server, tariff: float):
             if isinstance(server, ShardedSpatialServer):
                 chans = [
-                    Channel(config, tariff=tariff, name=replica.name)
+                    Channel(config, tariff=tariff, name=replica.name, observer=observer)
                     for group in server.replica_groups
                     for replica in group
                 ]
@@ -1656,7 +1713,7 @@ class ServerPair:
                 if replica_health:
                     proxy.apply_replica_health(replica_health)
                 return proxy
-            chan = Channel(config, tariff=tariff, name=server.name)
+            chan = Channel(config, tariff=tariff, name=server.name, observer=observer)
             if resilience is not None:
                 resilience.register(chan)
             return proxy_cls(server, chan, resilience=resilience)

@@ -53,6 +53,7 @@ the pool runs concurrently with other queries' priming).
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
@@ -62,6 +63,8 @@ from repro.core.result import JoinResult
 from repro.device.pda import MobileDevice
 from repro.errors import QueryTimeout, ReproError, ServerUnavailable
 from repro.network.config import NetworkConfig
+from repro.obs.metrics import ChannelMetricsObserver
+from repro.obs.trace import NULL_TRACER
 from repro.server.remote import ResilienceController, ServerPair
 from repro.server.server import SpatialServer
 from repro.server.sharded import ShardedSpatialServer
@@ -69,7 +72,12 @@ from repro.service.cache import ResultCache, dataset_token, query_key
 from repro.service.executor import WaveExecutor, audit_ledger_isolation
 from repro.service.query import JoinQuery, QueryOutcome
 
-__all__ = ["BrokerStats", "QueryBroker"]
+__all__ = ["BrokerStats", "DEFAULT_CACHE_MAX_BYTES", "QueryBroker"]
+
+#: Default byte budget for broker-built result caches: enough for tens of
+#: thousands of typical cached results, small enough that a long-lived
+#: broker cannot grow without bound on result payloads alone.
+DEFAULT_CACHE_MAX_BYTES = 64 * 1024 * 1024
 
 
 @dataclass
@@ -144,6 +152,8 @@ class _Admitted:
     #: cooling replica is routed around and a half-open one receives the
     #: probe traffic.
     replica_health: Optional[Dict[str, str]] = None
+    #: The query's span under the wave span (None while tracing is off).
+    span: Optional[object] = None
 
 
 @dataclass
@@ -194,12 +204,15 @@ class QueryBroker:
         scheduling is deterministic.
     cache:
         Result-cache toggle, or a pre-built :class:`ResultCache` to share
-        between brokers.  Broker-built caches are bounded (LRU, 4096
-        entries); pass your own ``ResultCache(max_entries=None)`` for an
-        unbounded one, or set ``max_bytes`` on it for a size-aware payload
-        budget on top of the entry bound.  :meth:`clear_caches` releases
-        both the result cache and the server builds of a long-lived
-        broker.
+        between brokers.  Broker-built caches are bounded on both axes
+        (LRU, 4096 entries, ``cache_max_bytes`` payload budget); pass your
+        own ``ResultCache(max_entries=None)`` for an unbounded one.
+        :meth:`clear_caches` releases both the result cache and the server
+        builds of a long-lived broker.
+    cache_max_bytes:
+        Payload byte budget of the broker-built result cache
+        (:data:`DEFAULT_CACHE_MAX_BYTES` by default; ``None`` for
+        unbounded).  Ignored when a pre-built cache is passed.
     selector:
         The calibrated cost-model front-end; a fresh one (factors at 1.0)
         is built from ``config`` by default.
@@ -223,6 +236,20 @@ class QueryBroker:
     breaker_cooldown_waves:
         Waves an open breaker stays open before going half-open (one
         probing query decides between closing and re-opening).
+    max_server_builds:
+        LRU entry cap on the cached server builds (index builds per
+        distinct dataset pair and shard layout).  Evicting a build also
+        drops its breaker entries, exactly like :meth:`clear_caches`.
+        ``None`` disables the bound (the pre-cap behaviour).
+    tracer:
+        Optional :class:`repro.obs.Tracer`; threads span instrumentation
+        through every wave, query and coalesced exchange.  Defaults to
+        the no-op tracer (observability off, zero overhead).
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`; wires counters and
+        histograms through the cache, channels, resilience controllers
+        and wave loop.  Strictly read-only either way: results are
+        bit-identical with hooks on or off.
     """
 
     def __init__(
@@ -236,6 +263,10 @@ class QueryBroker:
         index_fanout: int = 16,
         breaker_threshold: int = 3,
         breaker_cooldown_waves: int = 2,
+        cache_max_bytes: Optional[int] = DEFAULT_CACHE_MAX_BYTES,
+        max_server_builds: Optional[int] = 32,
+        tracer=None,
+        metrics=None,
     ) -> None:
         if max_wave < 1:
             raise ValueError("max_wave must be >= 1")
@@ -243,14 +274,26 @@ class QueryBroker:
             raise ValueError("breaker_threshold must be >= 1")
         if breaker_cooldown_waves < 1:
             raise ValueError("breaker_cooldown_waves must be >= 1")
+        if max_server_builds is not None and max_server_builds < 1:
+            raise ValueError("max_server_builds must be >= 1 (or None)")
         self.config = config or NetworkConfig()
         self.max_wave = max_wave
         self.index_fanout = index_fanout
         self.calibrate = calibrate
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self._channel_observer = (
+            ChannelMetricsObserver(metrics) if metrics is not None else None
+        )
         if isinstance(cache, ResultCache):
             self.cache = cache
         else:
-            self.cache = ResultCache(enabled=bool(cache), max_entries=4096)
+            self.cache = ResultCache(
+                enabled=bool(cache),
+                max_entries=4096,
+                max_bytes=cache_max_bytes,
+                metrics=metrics,
+            )
         self.selector = selector or CalibratedCostModel(self.config)
         self.executor = WaveExecutor(workers)
         self.stats = BrokerStats()
@@ -259,7 +302,10 @@ class QueryBroker:
         # thread executes.
         self._lock = threading.RLock()
         self._pending: List[_Admitted] = []
-        self._servers: Dict[Tuple, Tuple[SpatialServer, SpatialServer]] = {}
+        self.max_server_builds = max_server_builds
+        self._servers: "OrderedDict[Tuple, Tuple[SpatialServer, SpatialServer]]" = (
+            OrderedDict()
+        )
         self.breaker_threshold = breaker_threshold
         self.breaker_cooldown_waves = breaker_cooldown_waves
         #: Circuit breakers keyed by the unit's stable ``breaker_token``
@@ -268,6 +314,47 @@ class QueryBroker:
         #: Monotone wave clock driving breaker cooldowns (counts every
         #: executed wave across all ``execute()`` calls).
         self._wave_counter = 0
+        # --- observability state (all None / 0 while hooks are off) ---
+        #: Monotone batch counter labelling "execute" spans.
+        self._batch_counter = 0
+        #: The live "execute" span (coordinator thread only).
+        self._batch_span = None
+        #: The live "wave" span (coordinator thread only).
+        self._wave_span = None
+        #: Parent span supplied by a wrapping QueryService admission loop.
+        self._service_span = None
+        self._m_queries = None
+        self._m_query_bytes = None
+        self._m_wave_occupancy = None
+        self._m_exchanges = None
+        self._m_round_windows = None
+        self._m_breaker = None
+        if metrics is not None:
+            self._m_queries = metrics.counter(
+                "repro_queries_total", "Queries completed by the broker, by status"
+            )
+            self._m_query_bytes = metrics.counter(
+                "repro_query_bytes_total",
+                "Primary-lane wire bytes of completed queries, by side",
+            )
+            self._m_wave_occupancy = metrics.histogram(
+                "repro_wave_occupancy",
+                "Queries per executed wave",
+                buckets=(1, 2, 4, 8, 16, 32, 64),
+            )
+            self._m_exchanges = metrics.counter(
+                "repro_coalesced_exchanges_total",
+                "Coalesced COUNT exchanges evaluated (one per server, round)",
+            )
+            self._m_round_windows = metrics.histogram(
+                "repro_round_windows",
+                "COUNT windows answered per coalesced exchange",
+                buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+            )
+            self._m_breaker = metrics.counter(
+                "repro_breaker_transitions_total",
+                "Circuit-breaker state transitions, by new state and server",
+            )
 
     @property
     def workers(self) -> int:
@@ -372,6 +459,22 @@ class QueryBroker:
         """
         with self._lock:
             batch, self._pending = self._pending, []
+        if self.tracer.enabled:
+            self._batch_counter += 1
+            self._batch_span = self.tracer.span(
+                "execute",
+                parent=self._service_span,
+                batch=self._batch_counter,
+                queries=len(batch),
+            )
+        try:
+            return self._execute_batch(batch)
+        finally:
+            if self._batch_span is not None:
+                self._batch_span.close()
+                self._batch_span = None
+
+    def _execute_batch(self, batch: List[_Admitted]) -> List[QueryOutcome]:
         pending, leaders, followers = self._admit(batch)
         waves = [
             pending[i : i + self.max_wave]
@@ -399,6 +502,8 @@ class QueryBroker:
                         ledger_fingerprints=entry.fingerprints,
                     )
                     self.stats.bump(queries_failed=1)
+                    if self._m_queries is not None:
+                        self._m_queries.inc(status=entry.outcome.status)
                     continue
                 assert entry.result is not None
                 # put() deep-freezes the result in place (same object), so
@@ -413,6 +518,10 @@ class QueryBroker:
                     wave=wave_index,
                     ledger_fingerprints=entry.fingerprints,
                 )
+                if self._m_queries is not None:
+                    self._m_queries.inc(status="ok")
+                    self._m_query_bytes.inc(entry.result.bytes_r, side="R")
+                    self._m_query_bytes.inc(entry.result.bytes_s, side="S")
             self.stats.bump(waves=1, queries_executed=len(wave))
         # Followers share their leader's result (one execution per key) --
         # or its failure, since nothing was cached for them to read.
@@ -431,8 +540,12 @@ class QueryBroker:
             )
             if lead.status == "ok":
                 self.stats.bump(cache_hits=1)
+                if self._m_queries is not None:
+                    self._m_queries.inc(status="cached")
             else:
                 self.stats.bump(queries_failed=1)
+                if self._m_queries is not None:
+                    self._m_queries.inc(status=lead.status)
         outcomes = []
         for entry in sorted(batch, key=lambda e: e.index):
             assert entry.outcome is not None
@@ -472,6 +585,12 @@ class QueryBroker:
                     wave=-1,
                 )
                 self.stats.bump(cache_hits=1)
+                if self._batch_span is not None:
+                    self._batch_span.event(
+                        "cache-hit", ticket=entry.index, algorithm=entry.plan.algorithm
+                    )
+                if self._m_queries is not None:
+                    self._m_queries.inc(status="cached")
                 continue
             if entry.key in leaders:
                 followers.append(entry)
@@ -501,12 +620,26 @@ class QueryBroker:
         )
         with self._lock:
             pair = self._servers.get(key)
-            if pair is None:
+            if pair is not None:
+                self._servers.move_to_end(key)
+            else:
                 pair = (
                     self._build_base(query.dataset_r, "R", query.shards_r, query),
                     self._build_base(query.dataset_s, "S", query.shards_s, query),
                 )
                 self._servers[key] = pair
+                # LRU bound for long-lived brokers: shed the coldest build
+                # (in-flight queries keep their own references, so a build
+                # evicted mid-wave finishes its queries and is then freed).
+                # The evicted build's breaker entries go with it -- breaker
+                # state must never outlive the server it was charged
+                # against (same contract as clear_caches()).
+                if self.max_server_builds is not None:
+                    while len(self._servers) > self.max_server_builds:
+                        _, evicted = self._servers.popitem(last=False)
+                        for base in evicted:
+                            for unit in base.breaker_units():
+                                self._breakers.pop(unit.breaker_token, None)
         return pair
 
     def _build_base(self, dataset, name: str, shards: int, query: JoinQuery):
@@ -560,6 +693,8 @@ class QueryBroker:
             resilience = ResilienceController(
                 faults=query.faults, retry=query.retry, deadline_s=query.deadline_s
             )
+            if self.metrics is not None:
+                resilience.metrics = self.metrics
         pair = ServerPair.connect(
             base_r.shared_view(),
             base_s.shared_view(),
@@ -568,8 +703,14 @@ class QueryBroker:
             resilience=resilience,
             router=query.router,
             replica_health=entry.replica_health,
+            observer=self._channel_observer,
         )
-        entry.device = MobileDevice(pair, buffer_size=query.buffer_size)
+        entry.device = MobileDevice(
+            pair, buffer_size=query.buffer_size, tracer=self.tracer
+        )
+        # The query's own "join" span (opened by the algorithm at run
+        # start) parents under its wave-level query span.
+        entry.device.trace_root = entry.span
         kwargs: Dict[str, object] = {}
         if query.execution is not None:
             kwargs["execution"] = query.execution
@@ -604,6 +745,20 @@ class QueryBroker:
         QueryBroker._advance(entry, answers)
 
     # -------------------------- circuit breaker ----------------------- #
+
+    def _note_breaker_transition(self, state: str, unit_name: str) -> None:
+        """Emit one breaker state change to the observability hooks.
+
+        Transitions happen on the coordinator thread (admission checks and
+        wave settlement), so appending to the wave span is race-free; the
+        transition stream itself is deterministic, being a pure function of
+        the wave's failure verdicts.
+        """
+        span = self._wave_span
+        if span is not None:
+            span.event("breaker-" + state, server=unit_name)
+        if self._m_breaker is not None:
+            self._m_breaker.inc(state=state, server=unit_name)
 
     def _check_breaker(self, entry: _Admitted) -> None:
         """Shed the query up front if a backing server's breaker is open.
@@ -656,6 +811,7 @@ class QueryBroker:
                         # Half-open: probe with this query.
                         breaker.open_until_wave = None
                         breaker.failures = self.breaker_threshold - 1
+                        self._note_breaker_transition("half-open", unit.name)
                     continue
                 # Replica group: shed only when the whole shard is dark.
                 if len(cooling) == len(group):
@@ -675,6 +831,7 @@ class QueryBroker:
                     breaker.open_until_wave = None
                     breaker.failures = self.breaker_threshold - 1
                     health[unit.name] = "probe"
+                    self._note_breaker_transition("half-open", unit.name)
                 for unit, _breaker in cooling:
                     health[unit.name] = "down"
         entry.replica_health = health or None
@@ -724,6 +881,7 @@ class QueryBroker:
             breaker.open_until_wave = (
                 self._wave_counter + 1 + self.breaker_cooldown_waves
             )
+            self._note_breaker_transition("open", unit.name)
 
     def _note_replica_faults(self, entry: _Admitted) -> set:
         """Charge per-replica breakers for this query's mid-query failovers.
@@ -762,6 +920,7 @@ class QueryBroker:
                     breaker.open_until_wave = (
                         self._wave_counter + 1 + self.breaker_cooldown_waves
                     )
+                    self._note_breaker_transition("open", unit.name)
         return faulted
 
     def _note_entry_success(
@@ -781,6 +940,8 @@ class QueryBroker:
                     continue
                 breaker = self._breakers.get(unit.breaker_token)
                 if breaker is not None and breaker.open_until_wave is None:
+                    if breaker.failures:
+                        self._note_breaker_transition("close", unit.name)
                     breaker.failures = 0
 
     def _fail_entry(self, entry: _Admitted, error: BaseException) -> None:
@@ -824,8 +985,38 @@ class QueryBroker:
         pre-resilience contract: it propagates and discards the batch.
         """
         self._wave_counter += 1
+        if self.tracer.enabled:
+            self._wave_span = self.tracer.span(
+                "wave",
+                parent=self._batch_span,
+                wave=self._wave_counter,
+                queries=len(wave),
+            )
+        if self._m_wave_occupancy is not None:
+            self._m_wave_occupancy.observe(len(wave))
+        try:
+            self._run_wave(wave)
+        finally:
+            if self._wave_span is not None:
+                self._wave_span.close()
+                self._wave_span = None
+
+    def _run_wave(self, wave: List[_Admitted]) -> None:
+        wave_span = self._wave_span
         building: List[_Admitted] = []
         for entry in wave:
+            if wave_span is not None:
+                # Created on the coordinator in submission order; the
+                # ticket label keeps sibling query spans id-distinct.
+                entry.span = wave_span.child(
+                    "query", ticket=entry.index, algorithm=entry.plan.algorithm
+                )
+                plan_span = entry.span.child(
+                    "plan",
+                    algorithm=entry.plan.algorithm,
+                    overridden=entry.plan.overridden,
+                )
+                plan_span.close()
             try:
                 self._check_breaker(entry)
                 self._build_stack(entry)
@@ -844,6 +1035,7 @@ class QueryBroker:
             self.executor.map_settle(lambda entry: self._advance(entry, None), building),
         )
         active = [entry for entry in building if entry.pending is not None]
+        round_index = 0
         while active:
             # Gather: one group per backing server across all active
             # queries, in submission order (coordinating thread only).
@@ -860,12 +1052,26 @@ class QueryBroker:
             # the shared rendezvous every worker barriers on.
             answers_for: Dict[Tuple[int, str], List[int]] = {}
             for group in groups.values():
+                group_span = None
+                if wave_span is not None:
+                    group_span = wave_span.child(
+                        "coalesced-count",
+                        round=round_index,
+                        server=group.base.name,
+                        windows=len(group.windows),
+                        queries=len(group.slices),
+                    )
                 values = group.base.evaluate_count_batch(group.windows)
+                if group_span is not None:
+                    group_span.close()
                 self.stats.bump(
                     coalesced_exchanges=1,
                     coalesced_count_queries=len(group.windows),
                     standalone_exchanges=len(group.slices),
                 )
+                if self._m_exchanges is not None:
+                    self._m_exchanges.inc(server=group.base.name)
+                    self._m_round_windows.observe(len(group.windows))
                 for entry, server_name, start, n in group.slices:
                     answers_for[(id(entry), server_name)] = values[start : start + n]
             # Attribute and advance: each query books its own share on its
@@ -881,6 +1087,7 @@ class QueryBroker:
                 ),
             )
             active = [entry for entry in active if entry.pending is not None]
+            round_index += 1
         for entry in wave:
             # Keep the ledger digest for provenance (also for failed
             # queries whose stack got built: the primary lane must hold
@@ -898,6 +1105,24 @@ class QueryBroker:
                 faulted = self._note_replica_faults(entry)
             if entry.failure is None:
                 self._note_entry_success(entry, frozenset(faulted))
+            if entry.span is not None:
+                if entry.failure is None:
+                    entry.span.annotate(status="ok")
+                else:
+                    entry.span.annotate(
+                        status=(
+                            "timeout"
+                            if isinstance(entry.failure, QueryTimeout)
+                            else "failed"
+                        ),
+                        error=type(entry.failure).__name__,
+                    )
+                if entry.result is not None:
+                    entry.span.annotate(
+                        pairs=len(entry.result.pairs),
+                        total_bytes=entry.result.total_bytes,
+                    )
+                entry.span.close()
             entry.gen = None
             entry.device = None
 

@@ -259,6 +259,7 @@ class ResultCache:
         enabled: bool = True,
         max_entries: Optional[int] = None,
         max_bytes: Optional[int] = None,
+        metrics=None,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be >= 1 (or None for unbounded)")
@@ -274,6 +275,24 @@ class ResultCache:
         self._lock = threading.Lock()
         self._entries: "OrderedDict[Tuple, JoinResult]" = OrderedDict()
         self._weights: Dict[Tuple, int] = {}
+        # Optional observability counters (repro.obs.MetricsRegistry);
+        # instruments are created once here so the per-get cost is a None
+        # check plus one counter bump.
+        self._m_hits = self._m_misses = self._m_evictions = None
+        self._m_bytes = None
+        if metrics is not None:
+            self._m_hits = metrics.counter(
+                "repro_cache_hits_total", "Result-cache hits"
+            )
+            self._m_misses = metrics.counter(
+                "repro_cache_misses_total", "Result-cache misses"
+            )
+            self._m_evictions = metrics.counter(
+                "repro_cache_evictions_total", "Result-cache evictions"
+            )
+            self._m_bytes = metrics.gauge(
+                "repro_cache_bytes", "Result-cache stored payload weight"
+            )
 
     def __len__(self) -> int:
         with self._lock:
@@ -286,8 +305,12 @@ class ResultCache:
             result = self._entries.get(key)
             if result is None:
                 self.misses += 1
+                if self._m_misses is not None:
+                    self._m_misses.inc()
             else:
                 self.hits += 1
+                if self._m_hits is not None:
+                    self._m_hits.inc()
                 self._entries.move_to_end(key)
             return result
 
@@ -321,6 +344,8 @@ class ResultCache:
                 # holds, but never the entry just inserted.
                 while self.bytes_stored > self.max_bytes and len(self._entries) > 1:
                     self._evict_oldest()
+            if self._m_bytes is not None:
+                self._m_bytes.set(self.bytes_stored)
         return frozen
 
     def _evict_oldest(self) -> None:
@@ -328,6 +353,8 @@ class ResultCache:
         old_key, _ = self._entries.popitem(last=False)
         self.bytes_stored -= self._weights.pop(old_key)
         self.evictions += 1
+        if self._m_evictions is not None:
+            self._m_evictions.inc()
 
     def clear(self) -> None:
         with self._lock:

@@ -48,6 +48,10 @@ from repro.service.query import JoinQuery, QueryOutcome
 
 __all__ = ["QueryService", "WaveExecutor", "audit_ledger_isolation"]
 
+#: Distinguishes "argument not given" from an explicit ``None`` (which
+#: means *unbounded* for ``cache_max_bytes``).
+_UNSET = object()
+
 
 def audit_ledger_isolation(devices: Sequence) -> None:
     """Verify the per-query session stacks of one wave are disjoint.
@@ -254,14 +258,25 @@ class QueryService:
         max_wave: Optional[int] = None,
         cache: object = True,
         calibrate: bool = False,
+        cache_max_bytes: object = _UNSET,
+        tracer=None,
+        metrics=None,
     ) -> None:
         from repro.service.broker import QueryBroker  # deferred: avoid cycle
 
         if broker is not None:
-            if config is not None or workers is not None or max_wave is not None:
+            if (
+                config is not None
+                or workers is not None
+                or max_wave is not None
+                or cache_max_bytes is not _UNSET
+                or tracer is not None
+                or metrics is not None
+            ):
                 raise ValueError(
                     "pass either a pre-built broker or "
-                    "config/workers/max_wave, not both"
+                    "config/workers/max_wave/cache_max_bytes/tracer/metrics, "
+                    "not both"
                 )
             self.broker = broker
         else:
@@ -272,7 +287,27 @@ class QueryService:
                 kwargs["workers"] = workers
             if max_wave is not None:
                 kwargs["max_wave"] = max_wave
+            if cache_max_bytes is not _UNSET:
+                kwargs["cache_max_bytes"] = cache_max_bytes
+            if tracer is not None:
+                kwargs["tracer"] = tracer
+            if metrics is not None:
+                kwargs["metrics"] = metrics
             self.broker = QueryBroker(**kwargs)
+        # Observability: the broker's hooks double as the service's (a
+        # pre-built broker brings its own).  The latency histogram is
+        # wall-clock and therefore lives outside every determinism
+        # fingerprint.
+        broker_metrics = getattr(self.broker, "metrics", None)
+        self._latency_hist = None
+        if broker_metrics is not None:
+            from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS
+
+            self._latency_hist = broker_metrics.histogram(
+                "repro_query_latency_seconds",
+                "Submission-to-completion service latency per query",
+                buckets=DEFAULT_LATENCY_BUCKETS,
+            )
         self._wake = threading.Condition()
         self._queue: "deque[_Ticket]" = deque()
         self._tickets: Dict[int, _Ticket] = {}
@@ -404,11 +439,26 @@ class QueryService:
                         self._queue.popleft()
                         for _ in range(min(max_wave, len(self._queue)))
                     ]
+                tracer = getattr(self.broker, "tracer", None)
+                span = None
+                if tracer is not None and tracer.enabled:
+                    # The admission span parents the broker's "execute"
+                    # span, completing the service -> wave -> query chain.
+                    span = tracer.span(
+                        "admission",
+                        queries=len(batch),
+                        first_ticket=batch[0].index,
+                    )
+                    self.broker._service_span = span
                 try:
                     outcomes = self.broker.run_batch([t.query for t in batch])
                 except BaseException as error:  # noqa: BLE001 -- forwarded to waiters
                     self._publish_failure(batch, error)
                     continue
+                finally:
+                    if span is not None:
+                        self.broker._service_span = None
+                        span.close()
                 if len(outcomes) != len(batch):
                     self._publish_failure(
                         batch,
@@ -422,6 +472,8 @@ class QueryService:
                 for ticket, outcome in zip(batch, outcomes):
                     outcome.ticket = ticket.index
                     outcome.service_latency_s = completed_at - ticket.submitted_at
+                    if self._latency_hist is not None:
+                        self._latency_hist.observe(outcome.service_latency_s)
                     ticket.outcome = outcome
                     self._finish(ticket)
         finally:
